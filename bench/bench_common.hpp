@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared scaffolding for the figure/table reproduction harnesses.
+//
+// Every bench binary:
+//  * runs with fast scaled-down defaults (seconds on a small host) and
+//    accepts --scale / size flags to approach the paper's sizes;
+//  * prints an aligned table with the same rows/series the paper reports,
+//    plus paper-vs-measured columns where the paper states numbers;
+//  * optionally mirrors rows to CSV via --csv=<path>.
+
+#include <cstdio>
+#include <string>
+
+#include "htm/des_engine.hpp"
+#include "mem/sim_heap.hpp"
+#include "model/machines.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace aam::bench {
+
+/// Thread counts for the three §5.5 scenarios on a machine: T=1, one
+/// thread per core, one thread per SMT resource.
+inline std::vector<int> standard_thread_counts(const model::MachineConfig& m) {
+  return {1, m.threads_per_core_one(), m.max_threads()};
+}
+
+/// The HTM kinds analyzed on a machine plus its atomics baseline.
+inline const char* machine_atomic_name(const model::MachineConfig& m) {
+  return m.name == "BGQ" ? "BGQ-CAS" : "Has-CAS";
+}
+
+struct BenchIo {
+  util::Cli* cli = nullptr;
+  std::string csv_path;
+
+  void maybe_write_csv(const util::Table& table, const std::string& suffix) {
+    if (csv_path.empty()) return;
+    const std::string path =
+        suffix.empty() ? csv_path : csv_path + "." + suffix;
+    table.write_csv(path);
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), what.c_str());
+}
+
+/// Pretty-prints a speedup with the paper's convention: values in
+/// (0.99, 1.01) print as "~1".
+inline std::string speedup_str(double s) {
+  if (s > 0.99 && s < 1.01) return "~1";
+  return util::format_double(s, 2);
+}
+
+}  // namespace aam::bench

@@ -1,0 +1,64 @@
+#pragma once
+
+// Level-synchronous parallel BFS (§3.3.2, §5.5, §6.1).
+//
+// All mechanisms share the same frontier expansion: threads claim chunks of
+// the current frontier, scan adjacency (paying per-edge costs), pre-check
+// the visited state of each neighbor (the Graph500 optimization the paper
+// highlights: "reduces the amount of fine-grained synchronization by
+// checking if the vertex was visited before executing an atomic"), and then
+// *visit* the unvisited candidates. Visiting is where the mechanisms
+// diverge:
+//
+//   kAamHtm    — candidates are buffered and visited M at a time inside a
+//                single hardware transaction (the coarsened activity of
+//                §4.2 / Listing 8). This is AAM-BGQ / AAM-Haswell.
+//   kAtomicCas — one CAS per candidate; the Graph500 reference baseline.
+//   kFineLocks — per-vertex spinlock around the update; the Galois-like
+//                fine-locking baseline of §6.1.2.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "htm/des_engine.hpp"
+
+namespace aam::algorithms {
+
+enum class BfsMechanism {
+  kAamHtm,
+  kAtomicCas,
+  kFineLocks,
+};
+
+const char* to_string(BfsMechanism mechanism);
+
+struct BfsOptions {
+  graph::Vertex root = 0;
+  BfsMechanism mechanism = BfsMechanism::kAamHtm;
+  int batch = 16;        ///< M: vertices visited per transaction (AAM only)
+  int scan_chunk = 512;  ///< frontier *edges* claimed per work unit
+  double barrier_cost_ns = 400.0;  ///< per-level synchronization cost
+};
+
+struct BfsResult {
+  std::vector<graph::Vertex> parent;    ///< BFS tree (kInvalidVertex: unvisited)
+  std::vector<double> level_times_ns;   ///< per-level makespan (Fig 1)
+  double total_time_ns = 0;
+  std::uint64_t vertices_visited = 0;
+  std::uint64_t edges_scanned = 0;
+  htm::HtmStats stats;                  ///< engine counters for this run
+};
+
+/// Runs BFS on `machine` (clocks and statistics are reset first).
+/// Algorithm state lives on the machine's heap for the duration.
+BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
+                  const BfsOptions& options);
+
+/// Validates a BFS tree: every visited vertex reaches the root through
+/// parent edges that exist in the graph, the visited set equals the set
+/// reachable from the root, and depths match true BFS levels.
+bool validate_bfs_tree(const graph::Graph& graph, graph::Vertex root,
+                       const std::vector<graph::Vertex>& parent);
+
+}  // namespace aam::algorithms

@@ -1,0 +1,271 @@
+#include "algorithms/boruvka.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "core/worklist.hpp"
+#include "util/check.hpp"
+
+namespace aam::algorithms {
+
+namespace {
+
+using graph::Vertex;
+
+struct MergeEdge {
+  Vertex u = graph::kInvalidVertex;
+  Vertex v = graph::kInvalidVertex;
+  float weight = 0;
+  std::uint64_t id = 0;  ///< deterministic tie-break
+};
+
+bool lighter(const MergeEdge& a, const MergeEdge& b) {
+  if (a.weight != b.weight) return a.weight < b.weight;
+  return a.id < b.id;
+}
+
+struct BoruvkaState {
+  const graph::Graph* graph = nullptr;
+  BoruvkaOptions options;
+  std::span<Vertex> parent;  ///< union-find forest on the SimHeap
+  std::vector<MergeEdge> merges;  ///< this round's candidate merges
+  core::ChunkCursor* scan_cursor = nullptr;
+  core::ChunkCursor* merge_cursor = nullptr;
+  bool scanning_phase = true;
+  std::uint64_t failed_merges = 0;
+  double total_weight = 0;
+  std::uint64_t edges_in_forest = 0;
+};
+
+class BoruvkaWorker : public htm::Worker {
+ public:
+  explicit BoruvkaWorker(BoruvkaState& state) : state_(state) {}
+
+  std::vector<std::pair<Vertex, MergeEdge>>& min_edges() { return min_edges_; }
+
+  bool next(htm::ThreadCtx& ctx) override {
+    return state_.scanning_phase ? scan_step(ctx) : merge_step(ctx);
+  }
+
+ private:
+  // Phase A: find, per component, the minimum outgoing edge. Threads scan
+  // vertex ranges and keep thread-local minima; the round hook reduces.
+  bool scan_step(htm::ThreadCtx& ctx) {
+    std::uint64_t begin = 0, end = 0;
+    if (!state_.scan_cursor->claim(ctx, state_.graph->num_vertices(), 256,
+                                   begin, end)) {
+      return false;
+    }
+    const auto& g = *state_.graph;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const auto v = static_cast<Vertex>(i);
+      const Vertex rv = find_root(ctx, v);
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        const Vertex w = nbrs[e];
+        if (find_root(ctx, w) == rv) continue;  // internal edge
+        const MergeEdge cand{v, w, ws[e],
+                             static_cast<std::uint64_t>(
+                                 std::min(v, w)) << 32 | std::max(v, w)};
+        upsert_min(rv, cand);
+      }
+    }
+    return true;
+  }
+
+  void upsert_min(Vertex root, const MergeEdge& cand) {
+    for (auto& [r, edge] : min_edges_) {
+      if (r == root) {
+        if (lighter(cand, edge)) edge = cand;
+        return;
+      }
+    }
+    min_edges_.emplace_back(root, cand);
+  }
+
+  // Root lookup with modelled per-hop loads (no path compression: keeps
+  // the transactional variant's chains identical to what it re-reads).
+  Vertex find_root(htm::ThreadCtx& ctx, Vertex v) const {
+    Vertex r = v;
+    while (true) {
+      const Vertex p = ctx.load(state_.parent[r]);
+      if (p == r) return r;
+      r = p;
+    }
+  }
+
+  // Phase B: merge transactions (Listing 5 shape). MF: a merge whose
+  // components were already united by a concurrent activity does nothing
+  // and reports the failure.
+  bool merge_step(htm::ThreadCtx& ctx) {
+    std::uint64_t begin = 0, end = 0;
+    if (!state_.merge_cursor->claim(
+            ctx, state_.merges.size(),
+            static_cast<std::uint32_t>(state_.options.batch), begin, end)) {
+      return false;
+    }
+    batch_.assign(state_.merges.begin() + static_cast<std::ptrdiff_t>(begin),
+                  state_.merges.begin() + static_cast<std::ptrdiff_t>(end));
+    ctx.stage_transaction(
+        [this](htm::Txn& tx) {
+          applied_.clear();
+          failed_ = 0;
+          for (const MergeEdge& m : batch_) {
+            const Vertex ru = tx_root(tx, m.u);
+            const Vertex rv = tx_root(tx, m.v);
+            if (ru == rv) {
+              ++failed_;  // lost the race: components already merged
+              continue;
+            }
+            // Deterministic link orientation: larger root under smaller.
+            tx.store(state_.parent[std::max(ru, rv)], std::min(ru, rv));
+            applied_.push_back(m);
+          }
+        },
+        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+          state_.failed_merges += failed_;
+          for (const MergeEdge& m : applied_) {
+            state_.total_weight += m.weight;
+            ++state_.edges_in_forest;
+          }
+          applied_.clear();
+        });
+    return true;
+  }
+
+  Vertex tx_root(htm::Txn& tx, Vertex v) const {
+    Vertex r = v;
+    while (true) {
+      const Vertex p = tx.load(state_.parent[r]);
+      if (p == r) return r;
+      r = p;
+    }
+  }
+
+  BoruvkaState& state_;
+  std::vector<std::pair<Vertex, MergeEdge>> min_edges_;
+  std::vector<MergeEdge> batch_;
+  std::vector<MergeEdge> applied_;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace
+
+BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
+                          const BoruvkaOptions& options) {
+  AAM_CHECK_MSG(graph.has_weights(), "Boruvka needs a weighted graph");
+  const Vertex n = graph.num_vertices();
+  AAM_CHECK(n > 0);
+
+  BoruvkaState state;
+  state.graph = &graph;
+  state.options = options;
+  state.parent = machine.heap().alloc<Vertex>(n);
+  for (Vertex v = 0; v < n; ++v) state.parent[v] = v;
+  core::ChunkCursor scan_cursor(machine.heap());
+  core::ChunkCursor merge_cursor(machine.heap());
+  state.scan_cursor = &scan_cursor;
+  state.merge_cursor = &merge_cursor;
+
+  machine.reset_clocks(0.0, /*clear_stats=*/true);
+  std::vector<std::unique_ptr<BoruvkaWorker>> workers;
+  for (int t = 0; t < machine.num_threads(); ++t) {
+    workers.push_back(std::make_unique<BoruvkaWorker>(state));
+    machine.set_worker(static_cast<std::uint32_t>(t), workers.back().get());
+  }
+
+  BoruvkaResult result;
+  std::uint64_t merges_before_round = 0;
+  machine.set_quiescence_hook([&](htm::DesMachine& m) {
+    if (state.scanning_phase) {
+      // Reduce the per-thread minima into one candidate edge per component.
+      std::vector<std::pair<Vertex, MergeEdge>> best;
+      for (auto& w : workers) {
+        for (const auto& [root, edge] : w->min_edges()) {
+          bool found = false;
+          for (auto& [r, e] : best) {
+            if (r == root) {
+              if (lighter(edge, e)) e = edge;
+              found = true;
+              break;
+            }
+          }
+          if (!found) best.emplace_back(root, edge);
+        }
+        w->min_edges().clear();
+      }
+      if (best.empty()) return false;  // forest complete
+      state.merges.clear();
+      for (auto& [root, edge] : best) state.merges.push_back(edge);
+      state.scanning_phase = false;
+      merges_before_round = state.edges_in_forest;
+      merge_cursor.reset_direct();
+      m.barrier_release(options.barrier_cost_ns);
+      return true;
+    }
+    // Merge phase finished: back to scanning, unless nothing merged (then
+    // every candidate failed => the remaining candidates were stale and
+    // the forest is already maximal) or the round budget ran out.
+    ++result.rounds;
+    const bool progressed = state.edges_in_forest > merges_before_round;
+    if (!progressed || result.rounds >= options.max_rounds) return false;
+    state.scanning_phase = true;
+    scan_cursor.reset_direct();
+    m.barrier_release(options.barrier_cost_ns);
+    return true;
+  });
+  machine.run();
+  machine.set_quiescence_hook(nullptr);
+
+  result.total_weight = state.total_weight;
+  result.edges_in_forest = state.edges_in_forest;
+  result.failed_merges = state.failed_merges;
+  result.total_time_ns = machine.makespan();
+  result.stats = machine.stats();
+  return result;
+}
+
+double mst_reference_weight(const graph::Graph& graph) {
+  struct Edge {
+    Vertex u, v;
+    float w;
+    std::uint64_t id;
+  };
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    const auto nbrs = graph.neighbors(u);
+    const auto ws = graph.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        edges.push_back({u, nbrs[i], ws[i],
+                         static_cast<std::uint64_t>(u) << 32 | nbrs[i]});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    return a.id < b.id;
+  });
+  std::vector<Vertex> parent(graph.num_vertices());
+  std::iota(parent.begin(), parent.end(), Vertex{0});
+  auto find = [&](Vertex v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  double total = 0;
+  for (const Edge& e : edges) {
+    const Vertex ru = find(e.u);
+    const Vertex rv = find(e.v);
+    if (ru == rv) continue;
+    parent[std::max(ru, rv)] = std::min(ru, rv);
+    total += e.w;
+  }
+  return total;
+}
+
+}  // namespace aam::algorithms

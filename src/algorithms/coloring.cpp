@@ -1,0 +1,204 @@
+#include "algorithms/coloring.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/worklist.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aam::algorithms {
+
+namespace {
+
+using graph::Vertex;
+
+struct ColorState {
+  const graph::Graph* graph = nullptr;
+  ColoringOptions options;
+  std::span<std::uint32_t> color;  // 0 = uncolored
+  std::vector<Vertex> worklist;
+  core::ChunkCursor* cursor = nullptr;
+  std::uint64_t recolor_requests = 0;
+};
+
+class ColorWorker : public htm::Worker {
+ public:
+  ColorWorker(ColorState& state, util::Rng rng) : state_(state), rng_(rng) {}
+
+  void start_round() { done_scanning_ = false; }
+  std::vector<Vertex>& next_worklist() { return next_worklist_; }
+
+  bool next(htm::ThreadCtx& ctx) override {
+    const int m = state_.options.batch;
+    if (static_cast<int>(pending_.size()) >= m) {
+      visit(ctx, static_cast<std::size_t>(m));
+      return true;
+    }
+    if (!done_scanning_) {
+      std::uint64_t begin = 0, end = 0;
+      if (state_.cursor->claim(
+              ctx, state_.worklist.size(),
+              static_cast<std::uint32_t>(state_.options.scan_chunk), begin,
+              end)) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const Vertex v = state_.worklist[i];
+          pending_.push_back({v, pick_color(ctx, v)});
+        }
+        return true;
+      }
+      done_scanning_ = true;
+    }
+    if (!pending_.empty()) {
+      visit(ctx, pending_.size());
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Tentative {
+    Vertex vertex;
+    std::uint32_t color;
+  };
+
+  // Smallest color (>= 1) not used by v's neighbors, from a stale snapshot
+  // (plain loads): the source of the inter-activity conflicts the failure
+  // handler resolves.
+  std::uint32_t pick_color(htm::ThreadCtx& ctx, Vertex v) {
+    used_.clear();
+    for (Vertex w : state_.graph->neighbors(v)) {
+      used_.push_back(ctx.load(state_.color[w]));
+    }
+    std::sort(used_.begin(), used_.end());
+    std::uint32_t candidate = 1;
+    for (std::uint32_t c : used_) {
+      if (c == candidate) ++candidate;
+      else if (c > candidate) break;
+    }
+    return candidate;
+  }
+
+  void visit(htm::ThreadCtx& ctx, std::size_t count) {
+    batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
+                  pending_.end());
+    pending_.resize(pending_.size() - count);
+    // Coin flips must be stable across transactional re-execution, so they
+    // are drawn outside the body, one per batch entry.
+    coins_.clear();
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      coins_.push_back(rng_.next_bool(0.5));
+    }
+    ctx.stage_transaction(
+        [this](htm::Txn& tx) {
+          recolor_.clear();
+          for (std::size_t i = 0; i < batch_.size(); ++i) {
+            const Tentative t = batch_[i];
+            tx.store(state_.color[t.vertex], t.color);
+            // Listing 7: any neighbors already holding this color? Every
+            // clashing *pair* must surrender one endpoint, or a conflict
+            // could survive the round undetected.
+            bool recolor_self = false;
+            for (Vertex w : state_.graph->neighbors(t.vertex)) {
+              if (w != t.vertex && tx.load(state_.color[w]) == t.color) {
+                if (coins_[i]) {
+                  recolor_.push_back(w);
+                } else {
+                  recolor_self = true;
+                }
+              }
+            }
+            if (recolor_self) recolor_.push_back(t.vertex);
+          }
+        },
+        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+          // Failure handler: schedule the conflicting vertices for the
+          // next round.
+          state_.recolor_requests += recolor_.size();
+          next_worklist_.insert(next_worklist_.end(), recolor_.begin(),
+                                recolor_.end());
+          recolor_.clear();
+        });
+  }
+
+  ColorState& state_;
+  util::Rng rng_;
+  std::vector<Tentative> pending_;
+  std::vector<Tentative> batch_;
+  std::vector<std::uint32_t> used_;
+  std::vector<bool> coins_;
+  std::vector<Vertex> recolor_;
+  std::vector<Vertex> next_worklist_;
+  bool done_scanning_ = false;
+};
+
+}  // namespace
+
+ColoringResult run_boman_coloring(htm::DesMachine& machine,
+                                  const graph::Graph& graph,
+                                  const ColoringOptions& options) {
+  const Vertex n = graph.num_vertices();
+  AAM_CHECK(n > 0);
+
+  ColorState state;
+  state.graph = &graph;
+  state.options = options;
+  state.color = machine.heap().alloc<std::uint32_t>(n);
+  core::ChunkCursor cursor(machine.heap());
+  state.cursor = &cursor;
+  state.worklist.resize(n);
+  for (Vertex v = 0; v < n; ++v) state.worklist[v] = v;
+
+  machine.reset_clocks(0.0, /*clear_stats=*/true);
+  const util::Rng root(options.seed);
+  std::vector<std::unique_ptr<ColorWorker>> workers;
+  for (int t = 0; t < machine.num_threads(); ++t) {
+    workers.push_back(std::make_unique<ColorWorker>(
+        state, root.fork(static_cast<std::uint64_t>(t) + 1)));
+    machine.set_worker(static_cast<std::uint32_t>(t), workers.back().get());
+  }
+
+  ColoringResult result;
+  machine.set_quiescence_hook([&](htm::DesMachine& m) {
+    ++result.rounds;
+    std::vector<Vertex> next;
+    for (auto& w : workers) {
+      next.insert(next.end(), w->next_worklist().begin(),
+                  w->next_worklist().end());
+      w->next_worklist().clear();
+    }
+    // The same vertex may be reported by several activities.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.empty() || result.rounds >= options.max_rounds) return false;
+    state.worklist = std::move(next);
+    cursor.reset_direct();
+    for (auto& w : workers) w->start_round();
+    m.barrier_release(options.barrier_cost_ns);
+    return true;
+  });
+  machine.run();
+  machine.set_quiescence_hook(nullptr);
+
+  result.color.assign(state.color.begin(), state.color.end());
+  result.colors_used =
+      *std::max_element(result.color.begin(), result.color.end());
+  result.recolor_requests = state.recolor_requests;
+  result.total_time_ns = machine.makespan();
+  result.stats = machine.stats();
+  return result;
+}
+
+bool validate_coloring(const graph::Graph& graph,
+                       const std::vector<std::uint32_t>& color) {
+  if (color.size() != graph.num_vertices()) return false;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (color[v] == 0) return false;
+    for (Vertex w : graph.neighbors(v)) {
+      if (w != v && color[w] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aam::algorithms

@@ -1,0 +1,47 @@
+#pragma once
+
+// Boman et al. distributed graph coloring (§3.3.5), FR & MF.
+//
+// The heuristic proceeds in rounds. Every vertex in the round's worklist
+// picks a tentative color (smallest not used by its neighbors, read from a
+// possibly-stale snapshot) and runs the Listing 7 operator: assign the
+// color, then check the neighborhood transactionally. If a neighbor holds
+// the same color, one of the two — chosen pseudo-randomly — must recolor:
+// its id is Fire-and-Returned to the spawner, whose failure handler puts
+// it on the next round's worklist. Rounds repeat until conflict-free.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "htm/des_engine.hpp"
+
+namespace aam::algorithms {
+
+struct ColoringOptions {
+  int batch = 8;  ///< M: operators per transaction
+  int scan_chunk = 32;
+  std::uint64_t seed = 1;
+  double barrier_cost_ns = 400.0;
+  int max_rounds = 256;  ///< safety bound; the heuristic converges long before
+};
+
+struct ColoringResult {
+  std::vector<std::uint32_t> color;  ///< 1-based; 0 = uncolored (never final)
+  std::uint32_t colors_used = 0;
+  int rounds = 0;
+  std::uint64_t recolor_requests = 0;
+  double total_time_ns = 0;
+  htm::HtmStats stats;
+};
+
+ColoringResult run_boman_coloring(htm::DesMachine& machine,
+                                  const graph::Graph& graph,
+                                  const ColoringOptions& options);
+
+/// True iff no edge connects two equal non-zero colors and all vertices
+/// are colored.
+bool validate_coloring(const graph::Graph& graph,
+                       const std::vector<std::uint32_t>& color);
+
+}  // namespace aam::algorithms

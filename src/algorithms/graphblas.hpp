@@ -1,0 +1,112 @@
+#pragma once
+
+// A minimal GraphBLAS-flavoured layer on top of AAM (§7: "AAM can be used
+// to implement the GraphBLAS abstraction and to accelerate ... graph
+// analytics based on sparse linear algebra").
+//
+// The core primitive is vxm — sparse vector-times-matrix over a semiring:
+//
+//     out[w]  ⊕=  in[v] ⊗ A[v][w]      for every edge (v, w)
+//
+// The scatter-reduce into `out` is exactly the Always-Succeed accumulation
+// workload of §3.3.1, so it executes as coarse AAM transactions via the
+// AamRuntime: one transaction performs M row-operators.
+//
+// Three standard semirings are provided; one vxm instantiates one graph
+// kernel:
+//   PlusTimes  -> one PageRank/SpMV iteration
+//   MinPlus    -> one Bellman-Ford relaxation round (SSSP step)
+//   OrAnd      -> one reachability/BFS frontier expansion step
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "core/runtime.hpp"
+#include "graph/csr.hpp"
+
+namespace aam::algorithms::grb {
+
+/// Semiring concept: additive identity `zero()`, combine `add`, `mul`.
+/// Scalars must be <= 8 bytes and trivially copyable (Txn constraints).
+struct PlusTimes {
+  using Scalar = double;
+  static constexpr Scalar zero() { return 0.0; }
+  static Scalar add(Scalar a, Scalar b) { return a + b; }
+  static Scalar mul(Scalar a, Scalar b) { return a * b; }
+};
+
+/// Tropical semiring: path-length composition.
+struct MinPlus {
+  using Scalar = double;
+  static constexpr Scalar zero() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static Scalar add(Scalar a, Scalar b) { return std::min(a, b); }
+  static Scalar mul(Scalar a, Scalar b) { return a + b; }
+};
+
+/// Boolean semiring: reachability.
+struct OrAnd {
+  using Scalar = std::uint64_t;
+  static constexpr Scalar zero() { return 0; }
+  static Scalar add(Scalar a, Scalar b) { return a | b; }
+  static Scalar mul(Scalar a, Scalar b) { return a & b; }
+};
+
+struct VxmOptions {
+  int batch = 16;  ///< M: row operators per transaction
+  /// Use edge weights as matrix values (requires a weighted graph);
+  /// otherwise every stored entry is multiplicative identity-like `one`.
+  bool use_weights = false;
+  double one = 1.0;  ///< matrix value for unweighted graphs
+};
+
+/// out ⊕= in ⊗ A, with A the graph's adjacency structure. `out` must live
+/// on the machine's SimHeap and be pre-initialized (typically to
+/// Semiring::zero()); `in` is read-only.
+template <typename Semiring>
+void vxm(htm::DesMachine& machine, const graph::Graph& graph,
+         std::span<const typename Semiring::Scalar> in,
+         std::span<typename Semiring::Scalar> out,
+         const VxmOptions& options = {}) {
+  using Scalar = typename Semiring::Scalar;
+  static_assert(sizeof(Scalar) <= 8);
+  AAM_CHECK(in.size() == graph.num_vertices());
+  AAM_CHECK(out.size() == graph.num_vertices());
+  AAM_CHECK(!options.use_weights || graph.has_weights());
+
+  core::AamRuntime runtime(machine, {.batch = options.batch});
+  runtime.for_each(graph.num_vertices(), [&](htm::Txn& tx,
+                                             std::uint64_t item) {
+    const auto v = static_cast<graph::Vertex>(item);
+    const Scalar xv = in[v];
+    if (xv == Semiring::zero()) return;  // sparse input: skip empty rows
+    const auto nbrs = graph.neighbors(v);
+    const auto ws =
+        options.use_weights ? graph.weights(v) : std::span<const float>{};
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const Scalar a = options.use_weights
+                           ? static_cast<Scalar>(ws[e])
+                           : static_cast<Scalar>(options.one);
+      const Scalar contribution = Semiring::mul(xv, a);
+      const graph::Vertex w = nbrs[e];
+      tx.store(out[w], Semiring::add(tx.load(out[w]), contribution));
+    }
+  });
+}
+
+/// Element-wise out[i] = add(out[i], in[i]) (GraphBLAS eWiseAdd with the
+/// semiring's monoid), executed transactionally in batches.
+template <typename Semiring>
+void ewise_add(htm::DesMachine& machine,
+               std::span<const typename Semiring::Scalar> in,
+               std::span<typename Semiring::Scalar> out, int batch = 64) {
+  AAM_CHECK(in.size() == out.size());
+  core::AamRuntime runtime(machine, {.batch = batch});
+  runtime.for_each(out.size(), [&](htm::Txn& tx, std::uint64_t i) {
+    tx.store(out[i], Semiring::add(tx.load(out[i]), in[i]));
+  });
+}
+
+}  // namespace aam::algorithms::grb

@@ -1,0 +1,190 @@
+#include "algorithms/sssp.hpp"
+
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "core/worklist.hpp"
+#include "util/check.hpp"
+
+namespace aam::algorithms {
+
+namespace {
+
+using graph::Vertex;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Relax {
+  Vertex vertex;
+  double distance;
+};
+
+struct SsspState {
+  const graph::Graph* graph = nullptr;
+  SsspOptions options;
+  std::span<double> distance;
+  std::vector<Vertex> frontier;
+  core::ChunkCursor* cursor = nullptr;
+  std::uint64_t relaxations = 0;
+};
+
+class SsspWorker : public htm::Worker {
+ public:
+  explicit SsspWorker(SsspState& state) : state_(state) {}
+
+  void start_round() { done_scanning_ = false; }
+  std::vector<Vertex>& next_frontier() { return next_frontier_; }
+
+  bool next(htm::ThreadCtx& ctx) override {
+    const int m = state_.options.batch;
+    if (static_cast<int>(pending_.size()) >= m) {
+      visit(ctx, static_cast<std::size_t>(m));
+      return true;
+    }
+    if (!done_scanning_) {
+      std::uint64_t begin = 0, end = 0;
+      if (state_.cursor->claim(
+              ctx, state_.frontier.size(),
+              static_cast<std::uint32_t>(state_.options.scan_chunk), begin,
+              end)) {
+        scan(ctx, begin, end);
+        return true;
+      }
+      done_scanning_ = true;
+    }
+    if (!pending_.empty()) {
+      visit(ctx, pending_.size());
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void scan(htm::ThreadCtx& ctx, std::uint64_t begin, std::uint64_t end) {
+    const auto& g = *state_.graph;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Vertex u = state_.frontier[i];
+      const double du = ctx.load(state_.distance[u]);
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.weights(u);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        const double cand = du + static_cast<double>(ws[e]);
+        // Pre-check: skip relaxations that cannot improve (stale read is
+        // fine; the transactional operator re-checks).
+        if (ctx.load(state_.distance[nbrs[e]]) <= cand) continue;
+        pending_.push_back({nbrs[e], cand});
+      }
+    }
+  }
+
+  // The BFS operator of Listing 4 with a distance payload: FF & MF.
+  void visit(htm::ThreadCtx& ctx, std::size_t count) {
+    batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
+                  pending_.end());
+    pending_.resize(pending_.size() - count);
+    ctx.stage_transaction(
+        [this](htm::Txn& tx) {
+          improved_.clear();
+          for (const Relax& r : batch_) {
+            if (tx.load(state_.distance[r.vertex]) > r.distance) {
+              tx.store(state_.distance[r.vertex], r.distance);
+              improved_.push_back(r.vertex);
+            }
+          }
+        },
+        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+          state_.relaxations += improved_.size();
+          next_frontier_.insert(next_frontier_.end(), improved_.begin(),
+                                improved_.end());
+          improved_.clear();
+        });
+  }
+
+  SsspState& state_;
+  std::vector<Relax> pending_;
+  std::vector<Relax> batch_;
+  std::vector<Vertex> improved_;
+  std::vector<Vertex> next_frontier_;
+  bool done_scanning_ = false;
+};
+
+}  // namespace
+
+SsspResult run_sssp(htm::DesMachine& machine, const graph::Graph& graph,
+                    const SsspOptions& options) {
+  AAM_CHECK_MSG(graph.has_weights(), "SSSP needs a weighted graph");
+  const Vertex n = graph.num_vertices();
+  AAM_CHECK(options.source < n);
+
+  SsspState state;
+  state.graph = &graph;
+  state.options = options;
+  state.distance = machine.heap().alloc<double>(n);
+  for (Vertex v = 0; v < n; ++v) state.distance[v] = kInf;
+  state.distance[options.source] = 0.0;
+  state.frontier = {options.source};
+  core::ChunkCursor cursor(machine.heap());
+  state.cursor = &cursor;
+
+  machine.reset_clocks(0.0, /*clear_stats=*/true);
+  std::vector<std::unique_ptr<SsspWorker>> workers;
+  for (int t = 0; t < machine.num_threads(); ++t) {
+    workers.push_back(std::make_unique<SsspWorker>(state));
+    machine.set_worker(static_cast<std::uint32_t>(t), workers.back().get());
+  }
+
+  SsspResult result;
+  machine.set_quiescence_hook([&](htm::DesMachine& m) {
+    ++result.rounds;
+    std::vector<Vertex> next;
+    for (auto& w : workers) {
+      next.insert(next.end(), w->next_frontier().begin(),
+                  w->next_frontier().end());
+      w->next_frontier().clear();
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.empty()) return false;
+    state.frontier = std::move(next);
+    cursor.reset_direct();
+    for (auto& w : workers) w->start_round();
+    m.barrier_release(options.barrier_cost_ns);
+    return true;
+  });
+  machine.run();
+  machine.set_quiescence_hook(nullptr);
+
+  result.distance.assign(state.distance.begin(), state.distance.end());
+  result.relaxations = state.relaxations;
+  result.total_time_ns = machine.makespan();
+  result.stats = machine.stats();
+  return result;
+}
+
+std::vector<double> sssp_reference(const graph::Graph& graph,
+                                   graph::Vertex source) {
+  const Vertex n = graph.num_vertices();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, Vertex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    const auto nbrs = graph.neighbors(u);
+    const auto ws = graph.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double cand = d + static_cast<double>(ws[i]);
+      if (cand < dist[nbrs[i]]) {
+        dist[nbrs[i]] = cand;
+        queue.push({cand, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace aam::algorithms

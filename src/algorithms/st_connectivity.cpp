@@ -1,0 +1,171 @@
+#include "algorithms/st_connectivity.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/worklist.hpp"
+#include "util/check.hpp"
+
+namespace aam::algorithms {
+
+namespace {
+
+using graph::Vertex;
+
+constexpr std::uint32_t kWhite = 0;
+constexpr std::uint32_t kGrey = 1;   // the s-wave
+constexpr std::uint32_t kGreen = 2;  // the t-wave
+
+struct Candidate {
+  Vertex vertex;
+  std::uint32_t color;
+};
+
+struct StState {
+  const graph::Graph* graph = nullptr;
+  StConnOptions options;
+  std::span<std::uint32_t> color;
+  std::vector<Candidate> frontier;  // both waves interleaved
+  core::ChunkCursor* cursor = nullptr;
+  bool connected = false;  // set by failure handlers; stops the traversal
+  std::uint64_t colored = 1;
+};
+
+class StWorker : public htm::Worker {
+ public:
+  explicit StWorker(StState& state) : state_(state) {}
+
+  void start_level() { done_scanning_ = false; }
+  std::vector<Candidate>& next_frontier() { return next_frontier_; }
+
+  bool next(htm::ThreadCtx& ctx) override {
+    if (state_.connected) return false;  // failure handler fired: stop
+    const int m = state_.options.batch;
+    if (static_cast<int>(pending_.size()) >= m) {
+      visit(ctx, static_cast<std::size_t>(m));
+      return true;
+    }
+    if (!done_scanning_) {
+      std::uint64_t begin = 0, end = 0;
+      if (state_.cursor->claim(
+              ctx, state_.frontier.size(),
+              static_cast<std::uint32_t>(state_.options.scan_chunk), begin,
+              end)) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const Candidate c = state_.frontier[i];
+          for (Vertex w : state_.graph->neighbors(c.vertex)) {
+            // Pre-check: already-owned vertices of our own wave are skipped;
+            // other-wave colors still go through the operator, which is
+            // where connectivity is detected.
+            if (ctx.load(state_.color[w]) == c.color) continue;
+            pending_.push_back({w, c.color});
+          }
+        }
+        return true;
+      }
+      done_scanning_ = true;
+    }
+    if (!pending_.empty()) {
+      visit(ctx, pending_.size());
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  // The Listing 6 operator, batched: returns true (into `hit_`) when the
+  // two waves meet. FR & AS: the result always reaches the spawner.
+  void visit(htm::ThreadCtx& ctx, std::size_t count) {
+    batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
+                  pending_.end());
+    pending_.resize(pending_.size() - count);
+    ctx.stage_transaction(
+        [this](htm::Txn& tx) {
+          hit_ = false;
+          claimed_.clear();
+          for (const Candidate& c : batch_) {
+            const std::uint32_t cur = tx.load(state_.color[c.vertex]);
+            if (cur != kWhite && cur != c.color) {
+              hit_ = true;  // the other wave owns it: s and t connect
+              continue;
+            }
+            if (cur == c.color) continue;
+            tx.store(state_.color[c.vertex], c.color);
+            claimed_.push_back(c);
+          }
+        },
+        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+          // Spawner-side failure handler (§3.3.4): terminate on contact.
+          if (hit_) state_.connected = true;
+          state_.colored += claimed_.size();
+          next_frontier_.insert(next_frontier_.end(), claimed_.begin(),
+                                claimed_.end());
+          claimed_.clear();
+        });
+  }
+
+  StState& state_;
+  std::vector<Candidate> pending_;
+  std::vector<Candidate> batch_;
+  std::vector<Candidate> claimed_;
+  std::vector<Candidate> next_frontier_;
+  bool done_scanning_ = false;
+  bool hit_ = false;
+};
+
+}  // namespace
+
+StConnResult run_st_connectivity(htm::DesMachine& machine,
+                                 const graph::Graph& graph,
+                                 const StConnOptions& options) {
+  const Vertex n = graph.num_vertices();
+  AAM_CHECK(options.s < n && options.t < n);
+  AAM_CHECK(options.s != options.t);
+
+  StState state;
+  state.graph = &graph;
+  state.options = options;
+  state.color = machine.heap().alloc<std::uint32_t>(n);
+  core::ChunkCursor cursor(machine.heap());
+  state.cursor = &cursor;
+
+  state.color[options.s] = kGrey;
+  state.color[options.t] = kGreen;
+  state.colored = 2;
+  state.frontier = {{options.s, kGrey}, {options.t, kGreen}};
+
+  machine.reset_clocks(0.0, /*clear_stats=*/true);
+  std::vector<std::unique_ptr<StWorker>> workers;
+  for (int t = 0; t < machine.num_threads(); ++t) {
+    workers.push_back(std::make_unique<StWorker>(state));
+    machine.set_worker(static_cast<std::uint32_t>(t), workers.back().get());
+  }
+
+  StConnResult result;
+  machine.set_quiescence_hook([&](htm::DesMachine& m) {
+    ++result.levels;
+    if (state.connected) return false;
+    std::vector<Candidate> next;
+    for (auto& w : workers) {
+      next.insert(next.end(), w->next_frontier().begin(),
+                  w->next_frontier().end());
+      w->next_frontier().clear();
+    }
+    if (next.empty()) return false;  // waves exhausted: not connected
+    state.frontier = std::move(next);
+    cursor.reset_direct();
+    for (auto& w : workers) w->start_level();
+    m.barrier_release(options.barrier_cost_ns);
+    return true;
+  });
+  machine.run();
+  machine.set_quiescence_hook(nullptr);
+
+  result.connected = state.connected;
+  result.total_time_ns = machine.makespan();
+  result.vertices_colored = state.colored;
+  result.stats = machine.stats();
+  return result;
+}
+
+}  // namespace aam::algorithms

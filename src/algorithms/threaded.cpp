@@ -1,0 +1,159 @@
+#include "algorithms/threaded.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <thread>
+
+#include "htm/stm_engine.hpp"
+#include "util/check.hpp"
+
+namespace aam::algorithms {
+
+using graph::Vertex;
+using graph::kInvalidVertex;
+
+ThreadedBfsResult threaded_bfs(const graph::Graph& graph, graph::Vertex root,
+                               int threads, int batch) {
+  AAM_CHECK(root < graph.num_vertices());
+  AAM_CHECK(threads >= 1 && batch >= 1);
+
+  const Vertex n = graph.num_vertices();
+  ThreadedBfsResult result;
+  result.parent.assign(n, kInvalidVertex);
+  result.parent[root] = root;
+
+  htm::StmEngine engine;
+  std::vector<Vertex> frontier{root};
+  std::vector<std::vector<Vertex>> next(static_cast<std::size_t>(threads));
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> done{false};
+
+  // The completion step runs on exactly one thread per phase: merge the
+  // per-thread next frontiers and re-arm the cursor.
+  auto on_completion = [&]() noexcept {
+    frontier.clear();
+    for (auto& nf : next) {
+      frontier.insert(frontier.end(), nf.begin(), nf.end());
+      nf.clear();
+    }
+    cursor.store(0, std::memory_order_relaxed);
+    if (frontier.empty()) done.store(true, std::memory_order_relaxed);
+  };
+  std::barrier barrier(threads, on_completion);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::vector<std::pair<Vertex, Vertex>> pending;
+      std::vector<std::uint8_t> claimed;
+      auto flush = [&] {
+        if (pending.empty()) return;
+        engine.atomically([&](htm::StmTxn& tx) {
+          // The body may re-execute on aborts: rebuild `claimed` each try.
+          claimed.assign(pending.size(), 0);
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            const auto [w, u] = pending[i];
+            if (tx.load(result.parent[w]) == kInvalidVertex) {
+              tx.store(result.parent[w], u);
+              claimed[i] = 1;
+            }
+          }
+        });
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          if (claimed[i]) {
+            next[static_cast<std::size_t>(t)].push_back(pending[i].first);
+          }
+        }
+        pending.clear();
+      };
+
+      while (!done.load(std::memory_order_relaxed)) {
+        for (;;) {
+          const std::size_t i =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= frontier.size()) break;
+          const Vertex u = frontier[i];
+          for (Vertex w : graph.neighbors(u)) {
+            if (result.parent[w] != kInvalidVertex) continue;  // pre-check
+            pending.emplace_back(w, u);
+            if (static_cast<int>(pending.size()) >= batch) flush();
+          }
+        }
+        flush();
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  result.stm_commits = engine.commits();
+  result.stm_aborts = engine.aborts();
+  return result;
+}
+
+ThreadedPrResult threaded_pagerank(const graph::Graph& graph, int iterations,
+                                   double damping, int threads, int batch) {
+  AAM_CHECK(threads >= 1 && batch >= 1 && iterations >= 1);
+  const Vertex n = graph.num_vertices();
+  AAM_CHECK(n > 0);
+
+  ThreadedPrResult result;
+  std::vector<double> old_rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> new_rank(n, 0.0);
+  const double base = (1.0 - damping) / static_cast<double>(n);
+
+  htm::StmEngine engine;
+  std::atomic<Vertex> cursor{0};
+  int iterations_left = iterations;
+
+  auto on_completion = [&]() noexcept {
+    std::swap(old_rank, new_rank);
+    std::fill(new_rank.begin(), new_rank.end(), 0.0);
+    cursor.store(0, std::memory_order_relaxed);
+    --iterations_left;
+  };
+  std::barrier barrier(threads, on_completion);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (iterations_left > 0) {
+        for (;;) {
+          const Vertex begin = cursor.fetch_add(
+              static_cast<Vertex>(batch), std::memory_order_relaxed);
+          if (begin >= n) break;
+          const Vertex end = std::min<Vertex>(begin + static_cast<Vertex>(batch), n);
+          // One STM transaction runs `batch` vertex operators (Listing 3).
+          engine.atomically([&](htm::StmTxn& tx) {
+            for (Vertex v = begin; v < end; ++v) {
+              tx.fetch_add(new_rank[v], base);
+              const auto nbrs = graph.neighbors(v);
+              if (nbrs.empty()) continue;
+              const double share =
+                  damping * old_rank[v] / static_cast<double>(nbrs.size());
+              for (Vertex w : nbrs) tx.fetch_add(new_rank[w], share);
+            }
+          });
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  result.rank = std::move(old_rank);
+  result.stm_commits = engine.commits();
+  result.stm_aborts = engine.aborts();
+  return result;
+}
+
+}  // namespace aam::algorithms

@@ -1,0 +1,46 @@
+#pragma once
+
+// Real-thread execution backend.
+//
+// The same AAM operator formulations (coarse transactional BFS visits,
+// PageRank rank pushes) running on genuine std::threads with the
+// TL2-flavoured STM engine (htm/stm_engine.hpp) instead of the simulator.
+// This is the §8 observation — "other mechanisms such as STM could also be
+// used" — made executable: the library runs real workloads on machines
+// without HTM, and the race/property tests get a second, OS-scheduled
+// implementation to cross-check the simulated one.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace aam::algorithms {
+
+struct ThreadedBfsResult {
+  std::vector<graph::Vertex> parent;
+  double wall_ms = 0;
+  std::uint64_t stm_commits = 0;
+  std::uint64_t stm_aborts = 0;
+};
+
+/// Level-synchronous BFS on `threads` std::threads; vertex visits execute
+/// as STM transactions of up to `batch` operators (the coarsened activity
+/// of §4.2, software-TM edition). Returns a valid BFS tree.
+ThreadedBfsResult threaded_bfs(const graph::Graph& graph, graph::Vertex root,
+                               int threads, int batch);
+
+struct ThreadedPrResult {
+  std::vector<double> rank;
+  double wall_ms = 0;
+  std::uint64_t stm_commits = 0;
+  std::uint64_t stm_aborts = 0;
+};
+
+/// Push-style PageRank (Listing 3) with each vertex operator batch running
+/// as one STM transaction (FF & AS: conflicting rank accumulations retry
+/// until they commit).
+ThreadedPrResult threaded_pagerank(const graph::Graph& graph, int iterations,
+                                   double damping, int threads, int batch);
+
+}  // namespace aam::algorithms

@@ -1,0 +1,69 @@
+#pragma once
+
+// Online selection of the coarsening factor M (§7).
+//
+// The paper leaves runtime M selection as future work but sketches the
+// mechanism: the exhaustive offline analysis (§5.5) shows that runtime
+// per processed vertex is U-shaped in M — too small wastes begin/commit
+// overhead, too large drowns in aborts/serializations. This controller
+// climbs that curve online with multiplicative-increase /
+// multiplicative-decrease on the observed abort rate.
+
+#include <algorithm>
+
+#include "htm/abort.hpp"
+
+namespace aam::core {
+
+class AdaptiveBatch {
+ public:
+  struct Options {
+    int min_batch = 1;
+    int max_batch = 512;
+    int initial = 8;
+    /// Abort-rate thresholds (aborts per completed activity) in a window.
+    double low_water = 0.02;   ///< below: grow M (overhead-bound regime)
+    double high_water = 0.25;  ///< above: shrink M (abort-bound regime)
+    int window = 64;           ///< activities per adjustment decision
+  };
+
+  AdaptiveBatch() : AdaptiveBatch(Options{}) {}
+  explicit AdaptiveBatch(Options options) : options_(options) {
+    batch_ = std::clamp(options_.initial, options_.min_batch,
+                        options_.max_batch);
+  }
+
+  /// Feed the outcome of one completed activity.
+  void record(const htm::TxnOutcome& outcome) {
+    ++activities_;
+    aborts_ += outcome.aborts;
+    if (outcome.serialized) ++serialized_;
+    if (activities_ < options_.window) return;
+
+    const double rate = static_cast<double>(aborts_ + 4 * serialized_) /
+                        static_cast<double>(activities_);
+    if (rate > options_.high_water) {
+      batch_ = std::max(options_.min_batch, batch_ / 2);
+    } else if (rate < options_.low_water) {
+      batch_ = std::min(options_.max_batch, batch_ * 2);
+    }
+    activities_ = 0;
+    aborts_ = 0;
+    serialized_ = 0;
+  }
+
+  int batch() const { return batch_; }
+  void reset(int m) {
+    batch_ = std::clamp(m, options_.min_batch, options_.max_batch);
+    activities_ = aborts_ = serialized_ = 0;
+  }
+
+ private:
+  Options options_;
+  int batch_ = 1;
+  long activities_ = 0;
+  long aborts_ = 0;
+  long serialized_ = 0;
+};
+
+}  // namespace aam::core

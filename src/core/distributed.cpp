@@ -1,0 +1,222 @@
+#include "core/distributed.hpp"
+
+#include "util/check.hpp"
+
+namespace aam::core {
+
+DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  AAM_CHECK(options_.coalesce >= 1 && options_.local_batch >= 1);
+
+  // Incoming operator batches: queue them for transactional execution by
+  // the polling thread (progress() stages the transaction).
+  op_handler_ = cluster_.register_handler(
+      [this](htm::ThreadCtx&, const net::Message& msg) {
+        Batch b;
+        b.items = msg.payload;
+        b.reply_node = op_fr_ ? msg.src_node : -1;
+        // (op_plain_ batches carry no reply.)
+        enqueue_batch(msg.dst_node, std::move(b));
+      });
+
+  // FR replies: run the failure handler for each returned result.
+  reply_handler_ = cluster_.register_handler(
+      [this](htm::ThreadCtx& ctx, const net::Message& msg) {
+        AAM_CHECK_MSG(on_result_, "FR reply without a failure handler");
+        for (std::uint64_t result : msg.payload) on_result_(ctx, result);
+      });
+
+  const int threads = cluster_.num_nodes() * cluster_.threads_per_node();
+  coalescers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    coalescers_.emplace_back(cluster_, op_handler_, options_.coalesce);
+  }
+  local_buffers_.resize(static_cast<std::size_t>(threads));
+  fr_results_.resize(static_cast<std::size_t>(threads));
+  pending_.resize(static_cast<std::size_t>(cluster_.num_nodes()));
+  pending_sharded_.resize(static_cast<std::size_t>(threads));
+}
+
+void DistributedRuntime::set_operator(ItemOp op) {
+  op_ff_ = std::move(op);
+  op_fr_ = nullptr;
+  op_plain_ = nullptr;
+  on_result_ = nullptr;
+}
+
+void DistributedRuntime::set_operator_fr(ItemOpFr op, FailureHandler on_result) {
+  op_fr_ = std::move(op);
+  on_result_ = std::move(on_result);
+  op_ff_ = nullptr;
+  op_plain_ = nullptr;
+}
+
+void DistributedRuntime::set_operator_plain(ItemOpPlain op,
+                                            double per_item_overhead_ns) {
+  op_plain_ = std::move(op);
+  plain_overhead_ns_ = per_item_overhead_ns;
+  op_ff_ = nullptr;
+  op_fr_ = nullptr;
+  on_result_ = nullptr;
+}
+
+void DistributedRuntime::spawn(htm::ThreadCtx& ctx, int owner_node,
+                               std::uint64_t item) {
+  const std::uint32_t tid = ctx.thread_id();
+  const int my_node = cluster_.node_of_thread(tid);
+  if (owner_node == my_node) {
+    auto& buf = local_buffers_[tid];
+    buf.push_back(item);
+    if (static_cast<int>(buf.size()) >= options_.local_batch) {
+      std::vector<std::uint64_t> items;
+      items.swap(buf);
+      enqueue_local(my_node, std::move(items));
+    }
+  } else {
+    coalescers_[tid].add(ctx, owner_node, item);
+  }
+}
+
+void DistributedRuntime::flush(htm::ThreadCtx& ctx) {
+  const std::uint32_t tid = ctx.thread_id();
+  auto& buf = local_buffers_[tid];
+  if (!buf.empty()) {
+    std::vector<std::uint64_t> items;
+    items.swap(buf);
+    enqueue_local(cluster_.node_of_thread(tid), std::move(items));
+  }
+  coalescers_[tid].flush_all(ctx);
+}
+
+void DistributedRuntime::enqueue_local(int node,
+                                       std::vector<std::uint64_t> items) {
+  Batch b;
+  b.items = std::move(items);
+  b.reply_node = op_fr_ ? node : -1;
+  enqueue_batch(node, std::move(b));
+}
+
+void DistributedRuntime::enqueue_batch(int node, Batch batch) {
+  if (!shard_) {
+    pending_[static_cast<std::size_t>(node)].push_back(std::move(batch));
+    ++pending_total_;
+  } else {
+    // Split the batch by receiver shard; each sub-batch runs only on its
+    // owning thread, making same-node transactions conflict-free.
+    const int tpn = cluster_.threads_per_node();
+    for (std::uint64_t item : batch.items) {
+      const auto shard = static_cast<int>(shard_(item)) % tpn;
+      const std::uint32_t tid = cluster_.thread_of(node, shard);
+      auto& q = pending_sharded_[tid];
+      if (q.empty() || q.back().reply_node != batch.reply_node ||
+          static_cast<int>(q.back().items.size()) >= options_.local_batch) {
+        Batch sub;
+        sub.reply_node = batch.reply_node;
+        q.push_back(std::move(sub));
+        ++pending_total_;
+      }
+      q.back().items.push_back(item);
+    }
+  }
+  // Wake the node's threads so someone executes the work even if everyone
+  // already parked.
+  for (int t = 0; t < cluster_.threads_per_node(); ++t) {
+    cluster_.machine().wake(cluster_.thread_of(node, t));
+  }
+}
+
+bool DistributedRuntime::progress(htm::ThreadCtx& ctx) {
+  const int node = cluster_.node_of_thread(ctx.thread_id());
+  auto& my_shard = pending_sharded_[ctx.thread_id()];
+  auto& q = shard_ ? my_shard : pending_[static_cast<std::size_t>(node)];
+  if (q.empty()) {
+    // Pull one message off the wire; its handler enqueues batches.
+    net::Message msg;
+    if (!cluster_.poll(ctx, msg)) return false;
+    cluster_.run_handler(ctx, msg);
+    if (q.empty()) return true;  // reply message, or work for other shards
+  }
+  Batch batch = std::move(q.front());
+  q.pop_front();
+  --pending_total_;
+  stage_batch(ctx, std::move(batch));
+  return true;
+}
+
+void DistributedRuntime::stage_batch(htm::ThreadCtx& ctx, Batch batch) {
+  AAM_CHECK_MSG(op_ff_ || op_fr_ || op_plain_, "no operator registered");
+  const std::uint32_t tid = ctx.thread_id();
+  const std::size_t n = batch.items.size();
+  items_executed_ += n;
+  ++batches_executed_;
+
+  if (op_plain_) {
+    // Per-item application with the baseline's software overhead; no
+    // transaction, no coarsening.
+    for (std::uint64_t item : batch.items) {
+      ctx.compute(plain_overhead_ns_);
+      op_plain_(ctx, item);
+    }
+    return;
+  }
+
+  if (op_ff_) {
+    // One coarse transaction per batch (coalesced activity, §5.6).
+    ctx.stage_transaction(
+        [this, items = std::move(batch.items)](htm::Txn& tx) {
+          for (std::uint64_t item : items) op_ff_(tx, item);
+        });
+    return;
+  }
+
+  // FR: collect per-item results in a thread staging area. The body may
+  // re-execute on aborts, so it resets the staging area first.
+  const int reply_node = batch.reply_node;
+  ctx.stage_transaction(
+      [this, tid, items = std::move(batch.items)](htm::Txn& tx) {
+        auto& results = fr_results_[tid];
+        results.clear();
+        for (std::uint64_t item : items) {
+          const std::uint64_t r = op_fr_(tx, item);
+          if (r != 0) results.push_back(r);
+        }
+      },
+      [this, tid, reply_node](htm::ThreadCtx& done_ctx, const htm::TxnOutcome&) {
+        auto& results = fr_results_[tid];
+        if (results.empty()) return;
+        const int my_node = cluster_.node_of_thread(tid);
+        if (reply_node == my_node) {
+          for (std::uint64_t r : results) on_result_(done_ctx, r);
+        } else {
+          cluster_.send(done_ctx, reply_node, reply_handler_, 0, 0,
+                        std::move(results));
+          results = {};
+        }
+        results.clear();
+      });
+}
+
+bool DistributedRuntime::drained() const {
+  if (pending_total_ != 0 || cluster_.in_flight() != 0) return false;
+  for (int node = 0; node < cluster_.num_nodes(); ++node) {
+    if (!cluster_.queue_empty(node)) return false;
+  }
+  return true;
+}
+
+bool DistributedRuntime::Worker::next(htm::ThreadCtx& ctx) {
+  if (rt_.progress(ctx)) return true;
+  if (!production_done_) {
+    if (produce(ctx)) return true;
+    production_done_ = true;
+    return true;  // come back once more to flush
+  }
+  if (!flushed_) {
+    flushed_ = true;
+    rt_.flush(ctx);
+    return true;
+  }
+  return false;  // park; message deliveries wake us
+}
+
+}  // namespace aam::core

@@ -1,0 +1,150 @@
+#pragma once
+
+// Distributed AAM runtime (§3.2, §4.2, §5.6).
+//
+// Spawners route single-element operator invocations to the owner node of
+// the element. Invocations targeting the same remote node are *coalesced*
+// into one atomic active message of up to C items (§4.2); the receiving
+// node executes each message's batch as ONE hardware transaction (the
+// inter-node form of coarsening, §5.6). Local invocations are batched the
+// same way without network cost.
+//
+// Fire-and-Return support: an FR operator returns a 64-bit result per item;
+// non-zero results are coalesced into a reply message to the spawner node,
+// where the registered *failure handler* runs (§3.2.1).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+#include "net/cluster.hpp"
+
+namespace aam::core {
+
+class DistributedRuntime {
+ public:
+  struct Options {
+    int coalesce = 16;     ///< C: items per atomic active message
+    int local_batch = 16;  ///< M: items per locally-spawned transaction
+  };
+
+  /// Optional receiver-side sharding (§4.2: the runtime "reduces the
+  /// amount of synchronization even further"): maps an item to a local
+  /// thread index in [0, threads_per_node). Incoming batches are split by
+  /// shard and each sub-batch executes only on its owning thread, so
+  /// concurrent transactions on one node never overlap — eliminating
+  /// intra-node conflict aborts for partitionable operators. The mapping
+  /// must be line-granular (items sharing a cache line on the same shard).
+  using ShardFn = std::function<std::uint32_t(std::uint64_t item)>;
+  void set_sharding(ShardFn shard) { shard_ = std::move(shard); }
+
+  /// FF operator: modifies elements, returns nothing.
+  using ItemOp = std::function<void(htm::Txn&, std::uint64_t item)>;
+  /// FR operator: returns 0 for "nothing to report" or a non-zero result
+  /// that flows back to the spawner's failure handler.
+  using ItemOpFr = std::function<std::uint64_t(htm::Txn&, std::uint64_t item)>;
+  using FailureHandler =
+      std::function<void(htm::ThreadCtx&, std::uint64_t result)>;
+
+  DistributedRuntime(net::Cluster& cluster, Options options);
+
+  /// Configure as Fire-and-Forget (PageRank, BFS styles).
+  void set_operator(ItemOp op);
+  /// Configure as Fire-and-Return with a failure handler (ST connectivity,
+  /// coloring, Boruvka styles).
+  void set_operator_fr(ItemOpFr op, FailureHandler on_result);
+
+  /// Non-transactional apply path: items are applied with per-item plain /
+  /// atomic operations on the receiving thread instead of a coarse
+  /// transaction. Used by AM baselines (the PBGL-like PageRank of §6.2)
+  /// for an apples-to-apples comparison against AAM's coarse activities.
+  using ItemOpPlain = std::function<void(htm::ThreadCtx&, std::uint64_t item)>;
+  void set_operator_plain(ItemOpPlain op, double per_item_overhead_ns = 0.0);
+
+  /// Spawner API: route `item` to its owner. Local items are buffered into
+  /// per-thread batches; remote ones into per-thread coalescing buffers.
+  /// May stage a transaction (when a local batch fills) — the caller must
+  /// stop issuing work for this next() round once ctx.has_staged().
+  void spawn(htm::ThreadCtx& ctx, int owner_node, std::uint64_t item);
+
+  /// Flushes this thread's partial buffers (local batch and coalescers).
+  /// May stage a transaction; check ctx.has_staged() afterwards.
+  void flush(htm::ThreadCtx& ctx);
+
+  /// Receiver progress: executes one pending batch (incoming message or
+  /// local batch) as a single transaction. Returns true if it staged work
+  /// or processed a message. Call from workers when out of spawn work.
+  bool progress(htm::ThreadCtx& ctx);
+
+  /// True when no batches are pending anywhere and nothing is in flight.
+  /// (Per-thread partial buffers are the caller's responsibility: flush.)
+  bool drained() const;
+
+  std::uint64_t items_executed() const { return items_executed_; }
+  std::uint64_t batches_executed() const { return batches_executed_; }
+  net::Cluster& cluster() { return cluster_; }
+
+  /// A convenience worker: drains incoming work, then produces spawns via
+  /// `produce` (return false when out of items), then flushes and parks.
+  class Worker : public htm::Worker {
+   public:
+    explicit Worker(DistributedRuntime& rt) : rt_(rt) {}
+    bool next(htm::ThreadCtx& ctx) final;
+
+   protected:
+    /// Issue some spawn() calls; return false when production is finished.
+    /// Must return promptly once ctx.has_staged(). The default produces
+    /// nothing — a pure consumer/receiver worker.
+    virtual bool produce(htm::ThreadCtx& ctx) {
+      (void)ctx;
+      return false;
+    }
+
+   private:
+    DistributedRuntime& rt_;
+    bool production_done_ = false;
+    bool flushed_ = false;
+  };
+
+ private:
+  struct Batch {
+    std::vector<std::uint64_t> items;
+    int reply_node = -1;  ///< for FR: where results go (-1: local batch)
+  };
+
+  void stage_batch(htm::ThreadCtx& ctx, Batch batch);
+  void enqueue_local(int node, std::vector<std::uint64_t> items);
+
+  net::Cluster& cluster_;
+  Options options_;
+  ItemOp op_ff_;
+  ItemOpFr op_fr_;
+  ItemOpPlain op_plain_;
+  double plain_overhead_ns_ = 0.0;
+  FailureHandler on_result_;
+  std::uint32_t op_handler_ = 0;
+  std::uint32_t reply_handler_ = 0;
+
+  // Per sending thread: remote coalescers and local batch buffers.
+  std::vector<net::Coalescer> coalescers_;
+  std::vector<std::vector<std::uint64_t>> local_buffers_;
+
+  // Per node: batches awaiting transactional execution; with sharding,
+  // per-thread queues are used instead.
+  std::vector<std::deque<Batch>> pending_;
+  std::vector<std::deque<Batch>> pending_sharded_;  // per global thread id
+  std::uint64_t pending_total_ = 0;
+  ShardFn shard_;
+
+  void enqueue_batch(int node, Batch batch);
+
+  // Per thread: staging area for FR results of the in-flight batch.
+  std::vector<std::vector<std::uint64_t>> fr_results_;
+
+  std::uint64_t items_executed_ = 0;
+  std::uint64_t batches_executed_ = 0;
+};
+
+}  // namespace aam::core

@@ -1,0 +1,61 @@
+#include "core/runtime.hpp"
+
+#include "util/check.hpp"
+
+namespace aam::core {
+
+class AamRuntime::BatchWorker : public htm::Worker {
+ public:
+  explicit BatchWorker(AamRuntime& rt) : rt_(rt) {}
+
+  bool next(htm::ThreadCtx& ctx) override {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    const int m = rt_.adaptive_ ? rt_.adaptive_->batch() : rt_.options_.batch;
+    if (!rt_.cursor_.claim(ctx, rt_.count_, static_cast<std::uint32_t>(m),
+                           begin, end)) {
+      return false;
+    }
+    // One coarse activity: M operator invocations in a single transaction
+    // (§4.2, Listing 8). The body may re-execute on retries, so it must
+    // derive everything from (begin, end) and transactional state.
+    htm::TxnDone done;
+    if (rt_.adaptive_ != nullptr) {
+      done = [this](htm::ThreadCtx&, const htm::TxnOutcome& outcome) {
+        rt_.adaptive_->record(outcome);
+      };
+    }
+    ctx.stage_transaction(
+        [this, begin, end](htm::Txn& tx) {
+          for (std::uint64_t i = begin; i < end; ++i) rt_.op_(tx, i);
+        },
+        std::move(done));
+    return true;
+  }
+
+ private:
+  AamRuntime& rt_;
+};
+
+AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
+    : machine_(machine), options_(options), cursor_(machine.heap()) {
+  AAM_CHECK(options_.batch >= 1);
+  const int threads = machine_.num_threads();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.push_back(std::make_unique<BatchWorker>(*this));
+    machine_.set_worker(static_cast<std::uint32_t>(t), workers_.back().get());
+  }
+}
+
+AamRuntime::~AamRuntime() = default;
+
+void AamRuntime::for_each(std::uint64_t count, ItemOp op) {
+  cursor_.reset_direct();
+  op_ = std::move(op);
+  count_ = count;
+  machine_.run();
+  op_ = nullptr;
+}
+
+}  // namespace aam::core

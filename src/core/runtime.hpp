@@ -1,0 +1,69 @@
+#pragma once
+
+// Intra-node AAM runtime (§3, §4.2).
+//
+// AamRuntime executes a worklist of operator invocations on all threads of
+// a DesMachine, *coarsening* activities: up to M single-element operators
+// run inside one hardware transaction, amortizing the begin/commit overhead
+// and reducing fine-grained synchronization (§4.2, Listing 8).
+//
+// The operator receives the transactional context and an item index; the
+// May-Fail/Always-Succeed distinction (§3.2.2) lives in the operator body
+// (a MF operator observes state and may do nothing), while hardware aborts
+// are always retried by the engine per the HTM policy.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/worklist.hpp"
+#include "htm/des_engine.hpp"
+
+namespace aam::core {
+
+class AamRuntime {
+ public:
+  struct Options {
+    int batch = 16;  ///< M: operators per hardware transaction
+  };
+
+  /// The single-element operator: modifies graph elements through `tx`.
+  using ItemOp = std::function<void(htm::Txn&, std::uint64_t item)>;
+
+  AamRuntime(htm::DesMachine& machine, Options options);
+  ~AamRuntime();
+
+  AamRuntime(const AamRuntime&) = delete;
+  AamRuntime& operator=(const AamRuntime&) = delete;
+
+  /// Applies `op` to every item in [0, count) across all machine threads,
+  /// batching M invocations per transaction. Returns when all committed.
+  /// (Fire-and-Forget usage; the op's own logic provides AS/MF semantics.)
+  void for_each(std::uint64_t count, ItemOp op);
+
+  int batch() const { return options_.batch; }
+  void set_batch(int m) { options_.batch = m; }
+
+  /// Enables online M selection (§7 extension): the runtime claims chunks
+  /// of the controller's current batch size and feeds activity outcomes
+  /// back into it. Pass nullptr to return to the fixed batch.
+  void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
+  AdaptiveBatch* adaptive() { return adaptive_; }
+
+  htm::DesMachine& machine() { return machine_; }
+
+ private:
+  class BatchWorker;
+
+  htm::DesMachine& machine_;
+  Options options_;
+  ChunkCursor cursor_;
+  std::vector<std::unique_ptr<BatchWorker>> workers_;
+  ItemOp op_;
+  std::uint64_t count_ = 0;
+  AdaptiveBatch* adaptive_ = nullptr;
+};
+
+}  // namespace aam::core

@@ -1,0 +1,62 @@
+#pragma once
+
+// The AAM message taxonomy (§3.2).
+//
+// Two orthogonal criteria classify every atomic active message:
+//
+//  * Direction of data flow (§3.2.1): Fire-and-Forget messages spawn
+//    activities that return nothing; Fire-and-Return messages spawn
+//    activities whose result flows back to the spawner, where a *failure
+//    handler* may run.
+//  * Activity commits (§3.2.2): Always-Succeed activities must eventually
+//    commit (PageRank rank accumulation); May-Fail activities may lose an
+//    algorithm-level race and simply not re-execute (BFS distance update).
+//
+// A graph algorithm uses exactly one of the four combinations; the paper's
+// case studies (§3.3) map as:
+//
+//   PageRank           FF & AS      Boruvka MST        FR & MF
+//   BFS / SSSP         FF & MF      ST connectivity    FR & AS
+//   Boman coloring     FR & MF
+//
+// Note the distinction between *algorithm-level* failure (May-Fail) and
+// *hardware* aborts: an aborted transaction is always re-executed by the
+// runtime; a May-Fail activity may decide, after observing state, to do
+// nothing — that is not an abort.
+
+#include <cstdint>
+
+namespace aam::core {
+
+enum class Direction : std::uint8_t {
+  kFireAndForget,  ///< FF: unidirectional data flow
+  kFireAndReturn,  ///< FR: activity result returns to the spawner
+};
+
+enum class CommitMode : std::uint8_t {
+  kAlwaysSucceed,  ///< AS: every activity must commit (may serialize)
+  kMayFail,        ///< MF: activities may lose races and not re-execute
+};
+
+struct MessageClass {
+  Direction direction;
+  CommitMode commit;
+};
+
+inline constexpr MessageClass kFFAS{Direction::kFireAndForget,
+                                    CommitMode::kAlwaysSucceed};
+inline constexpr MessageClass kFFMF{Direction::kFireAndForget,
+                                    CommitMode::kMayFail};
+inline constexpr MessageClass kFRAS{Direction::kFireAndReturn,
+                                    CommitMode::kAlwaysSucceed};
+inline constexpr MessageClass kFRMF{Direction::kFireAndReturn,
+                                    CommitMode::kMayFail};
+
+inline const char* to_string(Direction d) {
+  return d == Direction::kFireAndForget ? "FF" : "FR";
+}
+inline const char* to_string(CommitMode c) {
+  return c == CommitMode::kAlwaysSucceed ? "AS" : "MF";
+}
+
+}  // namespace aam::core

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared work claiming for intra-node parallel loops.
+//
+// Threads claim contiguous chunks of an index range through an atomic
+// cursor that lives on the SimHeap — so the claim itself costs one modelled
+// fetch-and-add and contends for a cache line exactly like the fine-grained
+// synchronization the paper's coarsening is designed to amortize (§4.2).
+
+#include <cstdint>
+
+#include "htm/des_engine.hpp"
+#include "mem/sim_heap.hpp"
+
+namespace aam::core {
+
+class ChunkCursor {
+ public:
+  explicit ChunkCursor(mem::SimHeap& heap)
+      : cursor_(heap.alloc_isolated<std::uint64_t>(0)) {}
+
+  /// Claims the next chunk of up to `chunk` items from [0, limit).
+  /// Returns false when the range is exhausted. Charges one atomic ACC.
+  bool claim(htm::ThreadCtx& ctx, std::uint64_t limit, std::uint32_t chunk,
+             std::uint64_t& begin, std::uint64_t& end) {
+    // Cheap pre-check avoids hammering the line once the range is drained.
+    if (ctx.load(*cursor_) >= limit) return false;
+    begin = ctx.fetch_add(*cursor_, static_cast<std::uint64_t>(chunk));
+    if (begin >= limit) return false;
+    end = begin + chunk < limit ? begin + chunk : limit;
+    return true;
+  }
+
+  /// Resets the cursor between phases (single-threaded control step).
+  void reset(htm::ThreadCtx& ctx) { ctx.store(*cursor_, std::uint64_t{0}); }
+
+  /// Host-side reset (outside the simulation, e.g. from a quiescence hook).
+  void reset_direct() { *cursor_ = 0; }
+
+ private:
+  std::uint64_t* cursor_;
+};
+
+}  // namespace aam::core

@@ -1,0 +1,112 @@
+#include "graph/analogs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace aam::graph {
+
+const char* to_string(AnalogFamily family) {
+  switch (family) {
+    case AnalogFamily::kCommunication: return "CN";
+    case AnalogFamily::kSocial: return "SN";
+    case AnalogFamily::kPurchase: return "PN";
+    case AnalogFamily::kRoad: return "RN";
+    case AnalogFamily::kCitation: return "CG";
+    case AnalogFamily::kWeb: return "WG";
+  }
+  return "?";
+}
+
+const std::vector<RealGraphAnalog>& table1_catalog() {
+  using F = AnalogFamily;
+  // Columns: id, name, family, |V|, |E|,
+  //          BGQ{S@M24, optM, S@opt}, Has{S_g500@M2, S_galois@M2, optM,
+  //          S_g500@opt, S_galois@opt, S_hama}. 1e4 encodes ">10^4".
+  static const std::vector<RealGraphAnalog> catalog = {
+      {"cWT", "wiki-Talk", F::kCommunication, 2'400'000, 5'000'000,
+       2.82, 48, 3.35, 0.91, 1.22, 6, 0.96, 1.28, 344},
+      {"cEU", "email-EuAll", F::kCommunication, 265'000, 420'000,
+       3.67, 32, 4.36, 0.76, 0.88, 4, 0.97, 1.12, 1448},
+      {"sLV", "soc-LiveJournal", F::kSocial, 4'800'000, 69'000'000,
+       1.44, 12, 1.56, 1.05, 1.10, 3, 1.07, 1.12, 1e4},
+      {"sOR", "com-orkut", F::kSocial, 3'000'000, 117'000'000,
+       1.22, 20, 1.27, 1.06, 0.69, 4, 1.13, 0.74, 1e4},
+      {"sLJ", "com-lj", F::kSocial, 4'000'000, 34'000'000,
+       1.44, 12, 1.54, 1.03, 1.03, 4, 1.04, 1.04, 603},
+      {"sYT", "com-youtube", F::kSocial, 1'100'000, 2'900'000,
+       1.67, 8, 1.84, 0.96, 1.10, 5, 0.98, 1.11, 670},
+      {"sDB", "com-dblp", F::kSocial, 317'000, 1'000'000,
+       1.33, 8, 1.80, 1.00, 2.50, 2, 1.00, 2.53, 2160},
+      {"sAM", "com-amazon", F::kSocial, 334'000, 925'000,
+       1.14, 8, 1.62, 1.04, 1.64, 2, 1.04, 1.64, 1426},
+      {"pAM", "amazon0601", F::kPurchase, 403'000, 3'300'000,
+       1.45, 8, 1.91, 1.00, 1.25, 3, 1.03, 1.30, 618},
+      {"rCA", "roadNet-CA", F::kRoad, 1'900'000, 5'500'000,
+       1.00, 2, 1.59, 1.33, 1.74, 8, 1.38, 1.80, 1e4},
+      {"rTX", "roadNet-TX", F::kRoad, 1'300'000, 3'800'000,
+       1.00, 2, 1.53, 1.29, 1.89, 6, 1.42, 2.08, 1e4},
+      {"rPA", "roadNet-PA", F::kRoad, 1'000'000, 3'000'000,
+       1.00, 2, 1.52, 1.00, 2.00, 9, 1.07, 2.16, 1e4},
+      {"ciP", "cit-Patents", F::kCitation, 3'700'000, 16'500'000,
+       1.16, 8, 1.57, 1.01, 1.26, 2, 1.01, 1.26, 1875},
+      {"wGL", "web-Google", F::kWeb, 875'000, 5'100'000,
+       1.78, 12, 2.08, 0.98, 1.26, 6, 1.06, 1.35, 365},
+      {"wBS", "web-BerkStan", F::kWeb, 685'000, 7'600'000,
+       1.91, 24, 1.91, 0.93, 1.31, 5, 1.07, 1.40, 755},
+      {"wSF", "web-Stanford", F::kWeb, 281'000, 2'300'000,
+       1.89, 24, 1.89, 0.98, 1.54, 5, 1.07, 1.58, 1077},
+  };
+  return catalog;
+}
+
+const RealGraphAnalog& analog_by_id(const std::string& id) {
+  for (const auto& a : table1_catalog()) {
+    if (a.id == id) return a;
+  }
+  AAM_CHECK_MSG(false, "unknown Table 1 graph id");
+}
+
+Graph synthesize(const RealGraphAnalog& analog, std::uint64_t scale_divisor,
+                 util::Rng& rng) {
+  AAM_CHECK(scale_divisor >= 1);
+  const auto n64 = std::max<std::uint64_t>(1024, analog.vertices / scale_divisor);
+  const auto n = static_cast<Vertex>(n64);
+  const double avg_deg =
+      static_cast<double>(analog.edges) / static_cast<double>(analog.vertices);
+
+  switch (analog.family) {
+    case AnalogFamily::kCommunication: {
+      // Extreme hubs, very sparse periphery: preferential attachment with
+      // m=1 core plus a hub-biased overlay reproduces the skew that makes
+      // coarse transactions shine on CNs.
+      const int m = std::max(1, static_cast<int>(std::llround(avg_deg / 2.0)));
+      return preferential_attachment(n, m, rng);
+    }
+    case AnalogFamily::kSocial:
+    case AnalogFamily::kPurchase:
+    case AnalogFamily::kCitation: {
+      const int m = std::max(1, static_cast<int>(std::llround(avg_deg / 2.0)));
+      return preferential_attachment(n, m, rng);
+    }
+    case AnalogFamily::kRoad: {
+      const auto side = static_cast<Vertex>(std::sqrt(static_cast<double>(n)));
+      return road_lattice(std::max<Vertex>(2, side), std::max<Vertex>(2, side),
+                          /*shortcut_prob=*/0.0005, rng);
+    }
+    case AnalogFamily::kWeb: {
+      // Web graphs: power-law with strong locality; Kronecker captures the
+      // skew, no permutation keeps generation locality (link clustering).
+      KroneckerParams p;
+      p.scale = std::max(10, static_cast<int>(std::ceil(std::log2(n64))));
+      p.edge_factor = std::max(1, static_cast<int>(std::llround(avg_deg / 2.0)));
+      p.permute = false;
+      return kronecker(p, rng);
+    }
+  }
+  AAM_CHECK_MSG(false, "unhandled analog family");
+}
+
+}  // namespace aam::graph

@@ -1,0 +1,73 @@
+#pragma once
+
+// Synthetic structural analogs for the 16 SNAP real-world graphs of
+// Table 1 (§6.1.2).
+//
+// The original datasets are not bundled; per the reproduction plan each
+// graph is replaced by a generator configured to match its published
+// |V|, |E| and its structural class:
+//
+//   CNs (communication)  -> preferential attachment, extreme degree skew
+//   SNs (social)         -> preferential attachment, heavy-tailed
+//   PNs (purchase)       -> preferential attachment, moderate
+//   RNs (road)           -> 2-D lattice with sparse shortcuts (huge diameter)
+//   CGs (citation)       -> preferential attachment, low m
+//   WGs (web)            -> Kronecker power-law with locality
+//
+// The catalog also embeds the speedups Table 1 reports, so the bench can
+// print paper-vs-measured side by side. A `scale_divisor` shrinks each
+// graph (dividing |V|, preserving average degree) to fit the host.
+//
+// load_edge_list() (io.hpp) remains the drop-in path for the real files.
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace aam::graph {
+
+enum class AnalogFamily {
+  kCommunication,
+  kSocial,
+  kPurchase,
+  kRoad,
+  kCitation,
+  kWeb,
+};
+
+const char* to_string(AnalogFamily family);
+
+struct RealGraphAnalog {
+  std::string id;    ///< Table 1 ID, e.g. "cWT"
+  std::string name;  ///< SNAP name, e.g. "wiki-Talk"
+  AnalogFamily family;
+  std::uint64_t vertices;  ///< published |V|
+  std::uint64_t edges;     ///< published |E|
+
+  // Paper-reported speedups (Table 1), for paper-vs-measured output.
+  double paper_bgq_s_m24;     ///< S over Graph500 on BG/Q at M=24
+  int paper_bgq_opt_m;        ///< per-graph optimum M on BG/Q
+  double paper_bgq_s_opt;     ///< S over Graph500 at optimum M (BG/Q)
+  double paper_has_s_g500_m2; ///< S over Graph500 on Haswell at M=2
+  double paper_has_s_galois_m2;
+  int paper_has_opt_m;
+  double paper_has_s_g500_opt;
+  double paper_has_s_galois_opt;
+  double paper_has_s_hama;    ///< S over HAMA (1e4 encodes ">10^4")
+};
+
+/// All 16 Table 1 entries, in the paper's order.
+const std::vector<RealGraphAnalog>& table1_catalog();
+
+/// Look up a catalog entry by Table 1 ID; aborts on unknown ids.
+const RealGraphAnalog& analog_by_id(const std::string& id);
+
+/// Synthesizes the analog graph, shrunk by `scale_divisor` (>=1). The
+/// generated graph has ~|V|/divisor vertices and preserves the original
+/// average degree and the family's structure.
+Graph synthesize(const RealGraphAnalog& analog, std::uint64_t scale_divisor,
+                 util::Rng& rng);
+
+}  // namespace aam::graph

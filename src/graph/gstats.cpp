@@ -1,0 +1,93 @@
+#include "graph/gstats.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aam::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const Vertex n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<std::uint32_t> degrees(n);
+  std::uint64_t sum = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degrees[v] = g.degree(v);
+    sum += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.mean = static_cast<double>(sum) / static_cast<double>(n);
+  s.p50 = degrees[n / 2];
+  s.p99 = degrees[static_cast<std::size_t>(0.99 * (n - 1))];
+  const std::size_t top = std::max<std::size_t>(1, n / 100);
+  std::uint64_t top_sum = 0;
+  for (std::size_t i = n - top; i < n; ++i) top_sum += degrees[i];
+  s.top1pct_edge_share =
+      sum == 0 ? 0.0 : static_cast<double>(top_sum) / static_cast<double>(sum);
+  return s;
+}
+
+std::vector<std::uint32_t> bfs_levels(const Graph& g, Vertex source) {
+  AAM_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> level(g.num_vertices(), kInvalidLevel);
+  std::deque<Vertex> queue;
+  level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    for (Vertex w : g.neighbors(u)) {
+      if (level[w] == kInvalidLevel) {
+        level[w] = level[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+std::uint64_t reachable_count(const Graph& g, Vertex source) {
+  std::uint64_t count = 0;
+  for (std::uint32_t l : bfs_levels(g, source)) {
+    if (l != kInvalidLevel) ++count;
+  }
+  return count;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g, Vertex source) {
+  auto levels = bfs_levels(g, source);
+  Vertex farthest = source;
+  std::uint32_t depth = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] != kInvalidLevel && levels[v] > depth) {
+      depth = levels[v];
+      farthest = v;
+    }
+  }
+  levels = bfs_levels(g, farthest);
+  std::uint32_t diameter = 0;
+  for (std::uint32_t l : levels) {
+    if (l != kInvalidLevel) diameter = std::max(diameter, l);
+  }
+  return diameter;
+}
+
+Vertex pick_nonisolated_vertex(const Graph& g, std::uint64_t salt) {
+  AAM_CHECK(g.num_vertices() > 0);
+  util::Rng rng(0xb10f5eedULL ^ salt);
+  for (int tries = 0; tries < 1024; ++tries) {
+    const auto v = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+    if (g.degree(v) > 0) return v;
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) return v;
+  }
+  AAM_CHECK_MSG(false, "graph has no edges");
+}
+
+}  // namespace aam::graph

@@ -1,0 +1,42 @@
+#pragma once
+
+// Structural graph statistics used to characterize workloads: degree
+// distribution summary, reachability, and an approximate diameter (the
+// paper leans on diameter to explain the HAMA/BSP results, §6.1.2).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace aam::graph {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  /// Fraction of directed edges incident to the top 1% of vertices —
+  /// a skew indicator (power-law graphs score high).
+  double top1pct_edge_share = 0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// BFS levels from `source` (host-side, sequential; for analysis only).
+/// Unreachable vertices get kInvalidLevel.
+inline constexpr std::uint32_t kInvalidLevel = static_cast<std::uint32_t>(-1);
+std::vector<std::uint32_t> bfs_levels(const Graph& g, Vertex source);
+
+/// Number of vertices reachable from `source` (including itself).
+std::uint64_t reachable_count(const Graph& g, Vertex source);
+
+/// Lower-bound diameter estimate by the double-sweep heuristic starting
+/// from `source`.
+std::uint32_t diameter_lower_bound(const Graph& g, Vertex source);
+
+/// Picks a vertex of non-zero degree deterministically (for BFS roots).
+Vertex pick_nonisolated_vertex(const Graph& g, std::uint64_t salt = 0);
+
+}  // namespace aam::graph

@@ -1,0 +1,53 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace aam::graph {
+
+Graph load_edge_list(const std::string& path, const LoadOptions& options) {
+  std::ifstream in(path);
+  AAM_CHECK_MSG(in.good(), "cannot open edge list file");
+  EdgeList edges;
+  std::unordered_map<std::uint64_t, Vertex> remap;
+  Vertex next_id = 0;
+  std::uint64_t max_id = 0;
+
+  auto intern = [&](std::uint64_t raw) -> Vertex {
+    if (options.zero_based) {
+      max_id = std::max(max_id, raw);
+      return static_cast<Vertex>(raw);
+    }
+    const auto [it, inserted] = remap.try_emplace(raw, next_id);
+    if (inserted) ++next_id;
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) continue;
+    edges.emplace_back(intern(u), intern(v));
+  }
+  const Vertex n = options.zero_based ? static_cast<Vertex>(max_id + 1)
+                                      : next_id;
+  return Graph::from_edges(n, edges, options.undirected);
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  AAM_CHECK_MSG(out.good(), "cannot open edge list output file");
+  out << "# vertices " << g.num_vertices() << " directed-edges "
+      << g.num_edges() << "\n";
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) out << u << ' ' << v << '\n';
+  }
+}
+
+}  // namespace aam::graph

@@ -1,0 +1,3 @@
+// Block1D is header-only; this translation unit exists so the module has a
+// stable archive member and a place for future partitioners (2D, hashed).
+#include "graph/partition.hpp"

@@ -1,0 +1,57 @@
+#pragma once
+
+// One-dimensional graph partitioning (§3.1).
+//
+// V is divided into N contiguous blocks; block i is owned by process p_i.
+// The owner of vertex v also owns all edges (v, w). This is the
+// distribution scheme the paper assumes throughout.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+
+namespace aam::graph {
+
+class Block1D {
+ public:
+  Block1D() = default;
+  Block1D(Vertex num_vertices, int num_nodes)
+      : n_(num_vertices), nodes_(num_nodes) {
+    AAM_CHECK(num_nodes >= 1);
+    block_ = (n_ + static_cast<Vertex>(nodes_) - 1) /
+             static_cast<Vertex>(nodes_);
+    if (block_ == 0) block_ = 1;
+  }
+
+  int num_nodes() const { return nodes_; }
+  Vertex num_vertices() const { return n_; }
+
+  /// The process that owns vertex v.
+  int owner(Vertex v) const {
+    AAM_DCHECK(v < n_);
+    return static_cast<int>(v / block_);
+  }
+
+  /// First vertex owned by `node`.
+  Vertex begin(int node) const {
+    const auto b = static_cast<Vertex>(node) * block_;
+    return b > n_ ? n_ : b;
+  }
+  /// One past the last vertex owned by `node`.
+  Vertex end(int node) const {
+    const auto e = (static_cast<Vertex>(node) + 1) * block_;
+    return e > n_ ? n_ : e;
+  }
+  Vertex count(int node) const { return end(node) - begin(node); }
+
+  /// Index of v within its owner's block.
+  Vertex local_index(Vertex v) const { return v - begin(owner(v)); }
+
+ private:
+  Vertex n_ = 0;
+  int nodes_ = 1;
+  Vertex block_ = 1;
+};
+
+}  // namespace aam::graph

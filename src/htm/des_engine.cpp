@@ -1,0 +1,610 @@
+#include "htm/des_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace aam::htm {
+
+// ---------------------------------------------------------------------------
+// Per-thread engine state
+// ---------------------------------------------------------------------------
+
+struct DesMachine::ThreadState {
+  ThreadCtx ctx;
+  Worker* worker = nullptr;
+  bool parked = true;
+
+  // Staged-transaction state. At most one activity is in flight per thread.
+  bool txn_inflight = false;
+  bool want_serialize = false;
+  TxnBody body;
+  TxnDone done;
+  int aborts_this_txn = 0;
+  int capacity_aborts_this_txn = 0;
+  double first_start = 0;   ///< time of the first speculative attempt
+  double spec_start = 0;    ///< time of the current attempt
+  std::uint64_t start_stamp = 0;  ///< global commit stamp at attempt start
+  double txn_duration = 0;  ///< accumulated cost of the current attempt
+  mem::WordMap write_buffer;
+  mem::FootprintTracker tracker;
+  Txn txn;
+  HtmStats stats;
+};
+
+// ---------------------------------------------------------------------------
+// Txn
+// ---------------------------------------------------------------------------
+
+void Txn::abort() { throw TxAbort{AbortReason::kExplicit}; }
+
+std::uint64_t Txn::load_word(std::uintptr_t addr) {
+  DesMachine& m = *machine_;
+  auto& ts = *m.threads_[tid_];
+  AAM_CHECK_MSG(m.heap_.contains(reinterpret_cast<const void*>(addr)),
+                "transactional access to memory outside the SimHeap");
+  const std::uint64_t offset =
+      m.heap_.offset_of(reinterpret_cast<const void*>(addr));
+
+  if (serialized_) {
+    ts.txn_duration += m.config_.atomics.load_ns;
+    // Track the unit (no capacity limits) so stamps bump at commit.
+    ts.tracker.add_read(offset);
+  } else {
+    ts.txn_duration += m.costs_.read_ns + m.config_.atomics.load_ns;
+    if (ts.tracker.add_read(offset) == mem::FootprintTracker::Add::kOverflow) {
+      throw TxAbort{AbortReason::kCapacity};
+    }
+  }
+  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
+  std::uint64_t word;
+  if (!ts.write_buffer.lookup(word_addr, word)) {
+    word = m.read_committed_word(word_addr);
+  }
+  return word;
+}
+
+std::uint64_t Txn::peek_word_for_store(std::uintptr_t addr) {
+  // Fetch the containing word without charging a transactional read: the
+  // cost of a store already covers bringing the line into the buffer.
+  DesMachine& m = *machine_;
+  auto& ts = *m.threads_[tid_];
+  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
+  std::uint64_t word;
+  if (!ts.write_buffer.lookup(word_addr, word)) {
+    word = m.read_committed_word(word_addr);
+  }
+  return word;
+}
+
+void Txn::store_word(std::uintptr_t addr, std::uint64_t word) {
+  DesMachine& m = *machine_;
+  auto& ts = *m.threads_[tid_];
+  AAM_CHECK_MSG(m.heap_.contains(reinterpret_cast<const void*>(addr)),
+                "transactional access to memory outside the SimHeap");
+  const std::uint64_t offset =
+      m.heap_.offset_of(reinterpret_cast<const void*>(addr));
+
+  if (serialized_) {
+    ts.txn_duration += m.config_.atomics.store_ns;
+    ts.tracker.add_write(offset);
+  } else {
+    ts.txn_duration += m.costs_.write_ns + m.config_.atomics.store_ns;
+    if (ts.tracker.add_write(offset) == mem::FootprintTracker::Add::kOverflow) {
+      throw TxAbort{AbortReason::kCapacity};
+    }
+  }
+  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
+  ts.write_buffer.insert_or_assign(word_addr, word);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------------
+
+void ThreadCtx::charge_load() { clock_ += machine_->config().atomics.load_ns; }
+
+void ThreadCtx::charge_store(const void* p) {
+  clock_ += machine_->config().atomics.store_ns;
+  if (machine_->heap().contains(p)) {
+    // A plain store is immediately visible: overlapping transactions that
+    // touched this location must observe it as a conflict.
+    machine_->bump_addr(p);
+  }
+}
+
+void ThreadCtx::begin_atomic(const void* p, bool is_cas) {
+  DesMachine& m = *machine_;
+  AAM_CHECK_MSG(m.heap().contains(p),
+                "atomic access to memory outside the SimHeap");
+  const mem::LineId line = m.heap().line_of(p);
+  const auto& a = m.config().atomics;
+  // The line must be owned exclusively: queue behind in-flight atomics from
+  // *other* threads (cache-line ping-pong); re-accessing an already-owned
+  // line pays no transfer. On machines with a shared atomic unit (BG/Q
+  // L2), atomics additionally queue machine-wide behind the global gap.
+  double start = clock_;
+  if (m.stripes().owner(line) != tid_) {
+    start = std::max(start, m.stripes().available_at(line));
+  }
+  if (a.global_gap_ns > 0) {
+    // Node-wide atomic-unit throughput bound: one admission per gap,
+    // metered in *event* time (now_) so a thread whose private clock ran
+    // ahead inside a work batch cannot drag the gate into the future.
+    auto& dom = m.domain_of(tid_);
+    const double gate = std::max(dom.atomic_free, m.now());
+    start = std::max(start, gate);
+    dom.atomic_free = gate + a.global_gap_ns;
+  }
+  clock_ = start + (is_cas ? a.cas_ns : a.acc_ns);
+  m.stripes().set_available_at(line, start + a.line_transfer_ns);
+  m.stripes().set_owner(line, tid_);
+  auto& stats = m.threads_[tid_]->stats;
+  if (is_cas) {
+    ++stats.atomic_cas;
+  } else {
+    ++stats.atomic_acc;
+  }
+}
+
+void ThreadCtx::commit_atomic_write(const void* p) {
+  machine_->bump_addr(p);
+}
+
+void ThreadCtx::stage_transaction(TxnBody body, TxnDone done) {
+  AAM_CHECK_MSG(!staged_, "only one transaction may be staged per next()");
+  AAM_CHECK_MSG(!machine_->threads_[tid_]->txn_inflight,
+                "cannot stage a transaction while one is in flight");
+  staged_ = true;
+  staged_body_ = std::move(body);
+  staged_done_ = std::move(done);
+}
+
+// ---------------------------------------------------------------------------
+// DesMachine
+// ---------------------------------------------------------------------------
+
+DesMachine::DesMachine(const model::MachineConfig& config, model::HtmKind kind,
+                       int num_threads, mem::SimHeap& heap, std::uint64_t seed,
+                       int num_domains)
+    : config_(config),
+      kind_(kind),
+      costs_(config.htm(kind)),
+      heap_(heap),
+      stripes_(heap.num_lines()),
+      backoff_(costs_.backoff_base_ns, costs_.backoff_max_ns) {
+  AAM_CHECK(num_threads >= 1);
+  AAM_CHECK(num_domains >= 1 && num_threads % num_domains == 0);
+  AAM_CHECK_MSG(num_threads / num_domains <= config.max_threads(),
+                "per-node thread count exceeds the machine's hardware threads");
+  conflict_shift_ = 6;
+  {
+    std::uint32_t gran = costs_.conflict_granularity_bytes;
+    AAM_CHECK(gran >= 8 && (gran & (gran - 1)) == 0);
+    conflict_shift_ = 0;
+    while ((1u << conflict_shift_) < gran) ++conflict_shift_;
+  }
+  unit_stamps_.assign((heap.capacity_bytes() >> conflict_shift_) + 1, 0);
+  domains_.resize(static_cast<std::size_t>(num_domains));
+  threads_per_domain_ =
+      static_cast<std::uint32_t>(num_threads / num_domains);
+  for (auto& d : domains_) {
+    d.lock = heap_.alloc_isolated<std::uint64_t>(0);
+  }
+  const util::Rng root(seed);
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    auto ts = std::make_unique<ThreadState>();
+    ts->ctx.machine_ = this;
+    ts->ctx.tid_ = static_cast<std::uint32_t>(t);
+    ts->ctx.rng_ = root.fork(static_cast<std::uint64_t>(t) + 1);
+    ts->tracker.configure(costs_.write_capacity, costs_.read_capacity_lines,
+                          conflict_shift_);
+    ts->txn.machine_ = this;
+    ts->txn.tid_ = static_cast<std::uint32_t>(t);
+    threads_.push_back(std::move(ts));
+  }
+}
+
+DesMachine::~DesMachine() = default;
+
+void DesMachine::set_worker(std::uint32_t tid, Worker* worker) {
+  AAM_CHECK(tid < threads_.size());
+  threads_[tid]->worker = worker;
+}
+
+double DesMachine::thread_clock(std::uint32_t tid) const {
+  AAM_CHECK(tid < threads_.size());
+  return threads_[tid]->ctx.clock_;
+}
+
+double DesMachine::makespan() const {
+  double m = 0;
+  for (const auto& ts : threads_) m = std::max(m, ts->ctx.clock_);
+  return m;
+}
+
+HtmStats DesMachine::stats() const {
+  HtmStats s;
+  for (const auto& ts : threads_) s.merge(ts->stats);
+  return s;
+}
+
+const HtmStats& DesMachine::thread_stats(std::uint32_t tid) const {
+  AAM_CHECK(tid < threads_.size());
+  return threads_[tid]->stats;
+}
+
+void DesMachine::reset_clocks(double t, bool clear_stats) {
+  for (auto& d : domains_) {
+    AAM_CHECK_MSG(!d.held && d.waiters.empty(),
+                  "reset_clocks with an active serializer");
+    d.free_at = std::min(d.free_at, t);
+  }
+  for (auto& ts : threads_) {
+    AAM_CHECK_MSG(ts->parked && !ts->txn_inflight,
+                  "reset_clocks requires all threads parked");
+    ts->ctx.clock_ = t;
+    if (clear_stats) ts->stats = HtmStats{};
+  }
+  now_ = t;
+}
+
+void DesMachine::wake(std::uint32_t tid) {
+  AAM_CHECK(tid < threads_.size());
+  auto& ts = *threads_[tid];
+  if (!ts.parked || ts.worker == nullptr) return;
+  ts.parked = false;
+  ts.ctx.clock_ = std::max(ts.ctx.clock_, now_);
+  queue_.push(ts.ctx.clock_, tid, kNext);
+}
+
+void DesMachine::barrier_release(double barrier_cost_ns) {
+  const double release = makespan() + barrier_cost_ns;
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+    auto& ts = *threads_[t];
+    if (ts.worker == nullptr) continue;
+    AAM_CHECK_MSG(ts.parked, "barrier_release with a running thread");
+    ts.ctx.clock_ = release;
+  }
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
+}
+
+void DesMachine::schedule_callback(double t, std::function<void()> fn) {
+  std::size_t slot;
+  if (!callback_free_.empty()) {
+    slot = callback_free_.back();
+    callback_free_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    slot = callbacks_.size();
+    callbacks_.push_back(std::move(fn));
+  }
+  queue_.push(std::max(t, now_), 0, kCallback, slot);
+}
+
+void DesMachine::run() {
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
+  while (true) {
+    while (!queue_.empty()) dispatch(queue_.pop());
+    if (!quiescence_ || !quiescence_(*this)) break;
+    AAM_CHECK_MSG(!queue_.empty(),
+                  "quiescence hook returned true without injecting work");
+  }
+}
+
+void DesMachine::dispatch(const sim::Event& e) {
+  ++events_processed_;
+  AAM_DCHECK(e.time >= now_);
+  now_ = e.time;
+  switch (e.kind) {
+    case kNext:
+      on_next(e.thread);
+      break;
+    case kCommit:
+      on_commit(e.thread, e.payload);
+      break;
+    case kRetry: {
+      auto& ts = *threads_[e.thread];
+      if (ts.want_serialize) {
+        enter_serialized(e.thread, e.time);
+      } else {
+        ts.ctx.clock_ = e.time;
+        attempt_speculative(e.thread);
+      }
+      break;
+    }
+    case kSerialCommit:
+      on_serial_commit(e.thread);
+      break;
+    case kCallback: {
+      const std::size_t slot = static_cast<std::size_t>(e.payload);
+      std::function<void()> fn = std::move(callbacks_[slot]);
+      callbacks_[slot] = nullptr;
+      callback_free_.push_back(slot);
+      fn();
+      break;
+    }
+  }
+}
+
+void DesMachine::on_next(std::uint32_t tid) {
+  auto& ts = *threads_[tid];
+  AAM_DCHECK(ts.worker != nullptr);
+  ts.ctx.clock_ = std::max(ts.ctx.clock_, now_);
+  ts.ctx.staged_ = false;
+  const bool more = ts.worker->next(ts.ctx);
+  if (ts.ctx.staged_) {
+    ts.ctx.staged_ = false;
+    ts.txn_inflight = true;
+    ts.want_serialize = false;
+    ts.body = std::move(ts.ctx.staged_body_);
+    ts.done = std::move(ts.ctx.staged_done_);
+    ts.aborts_this_txn = 0;
+    ts.capacity_aborts_this_txn = 0;
+    ts.first_start = ts.ctx.clock_;
+    attempt_speculative(tid);
+  } else if (more) {
+    queue_.push(ts.ctx.clock_, tid, kNext);
+  } else {
+    ts.parked = true;
+  }
+}
+
+void DesMachine::attempt_speculative(std::uint32_t tid) {
+  auto& ts = *threads_[tid];
+  const double start = ts.ctx.clock_;
+
+  // Lock elision: a transaction cannot start while its domain's fallback
+  // lock is held; it aborts immediately and retries after the release.
+  SerialDomain& dom = domain_of(tid);
+  if (dom.held || dom.free_at > start) {
+    ++ts.stats.started;
+    handle_abort(tid, AbortReason::kConflict, std::max(dom.free_at, start));
+    return;
+  }
+
+  ++ts.stats.started;
+  ts.spec_start = start;
+  ts.start_stamp = commit_stamp_;
+  ts.txn_duration = costs_.begin_ns;
+  ts.write_buffer.clear();
+  ts.tracker.reset();
+  // Subscribe to the domain's fallback lock word (lazy subscription).
+  ts.tracker.add_read(heap_.offset_of(dom.lock));
+  ts.txn.start_ = start;
+  ts.txn.serialized_ = false;
+
+  AbortReason reason{};
+  bool aborted = false;
+  try {
+    ts.body(ts.txn);
+  } catch (const TxAbort& a) {
+    aborted = true;
+    reason = a.reason;
+  }
+
+  if (aborted) {
+    // The footprint accumulated up to the faulting access was paid for.
+    handle_abort(tid, reason, start + ts.txn_duration);
+    return;
+  }
+
+  ts.txn_duration += costs_.commit_ns;
+
+  // Injected asynchronous aborts (interrupts etc.), duration-proportional.
+  if (costs_.other_abort_per_us > 0) {
+    const double p =
+        1.0 - std::exp(-costs_.other_abort_per_us * ts.txn_duration / 1e3);
+    if (ts.ctx.rng_.next_bool(p)) {
+      const double frac = ts.ctx.rng_.next_double();
+      handle_abort(tid, AbortReason::kOther, start + frac * ts.txn_duration);
+      return;
+    }
+  }
+
+  // SMT-sibling evictions of speculative state (capacity-class aborts even
+  // for small footprints; see HtmCosts::smt_evict_per_line).
+  if (costs_.smt_evict_per_line > 0 && threads_.size() > 1) {
+    const double pressure =
+        static_cast<double>(threads_.size() - 1) /
+        static_cast<double>(std::max(1, config_.max_threads() - 1));
+    const double footprint =
+        static_cast<double>(ts.tracker.distinct_write_lines() +
+                            ts.tracker.distinct_read_lines());
+    const double p = 1.0 - std::exp(-costs_.smt_evict_per_line * footprint *
+                                    pressure);
+    if (ts.ctx.rng_.next_bool(p)) {
+      const double frac = ts.ctx.rng_.next_double();
+      handle_abort(tid, AbortReason::kCapacity,
+                   start + frac * ts.txn_duration);
+      return;
+    }
+  }
+
+  // Eager-ish conflict detection: validate once mid-flight and once at
+  // commit. A transaction whose footprint was overwritten early aborts at
+  // the midpoint, wasting half the work — as on real HTM, where a
+  // conflicting remote write invalidates the speculative line immediately.
+  queue_.push(start + ts.txn_duration * 0.5, tid, kCommit, /*probe=*/0);
+}
+
+void DesMachine::on_commit(std::uint32_t tid, std::uint64_t is_final) {
+  auto& ts = *threads_[tid];
+  AAM_DCHECK(ts.txn_inflight);
+  const double end = now_;
+
+  // First-committer-wins validation: any line in the footprint committed
+  // by an overlapping transaction, atomic, or plain store aborts us.
+  bool conflict = false;
+  for (std::uint64_t unit : ts.tracker.read_units()) {
+    if (unit_stamps_[unit] > ts.start_stamp) {
+      conflict = true;
+      break;
+    }
+  }
+  if (!conflict) {
+    for (std::uint64_t unit : ts.tracker.write_units()) {
+      if (unit_stamps_[unit] > ts.start_stamp) {
+        conflict = true;
+        break;
+      }
+    }
+  }
+  if (conflict) {
+    handle_abort(tid, AbortReason::kConflict, end);
+    return;
+  }
+  if (is_final == 0) {
+    // Midpoint probe passed: proceed to the real commit point.
+    queue_.push(ts.spec_start + ts.txn_duration, tid, kCommit, 1);
+    return;
+  }
+
+  ts.write_buffer.for_each([this](std::uintptr_t addr, std::uint64_t word) {
+    write_committed_word(addr, word);
+  });
+  for (std::uint64_t unit : ts.tracker.write_units()) {
+    bump_unit(unit);
+  }
+  ++ts.stats.committed;
+  finish_txn(tid, /*serialized=*/false, end);
+}
+
+void DesMachine::handle_abort(std::uint32_t tid, AbortReason reason,
+                              double at_time) {
+  auto& ts = *threads_[tid];
+  switch (reason) {
+    case AbortReason::kConflict: ++ts.stats.aborts_conflict; break;
+    case AbortReason::kCapacity:
+      ++ts.stats.aborts_capacity;
+      ++ts.capacity_aborts_this_txn;
+      break;
+    case AbortReason::kOther: ++ts.stats.aborts_other; break;
+    case AbortReason::kExplicit: ++ts.stats.aborts_explicit; break;
+  }
+  ++ts.aborts_this_txn;
+
+  double resume = at_time + costs_.abort_ns;
+
+  bool serialize = false;
+  if (costs_.serialize_after_first_abort) {
+    serialize = true;  // HLE (§4.1)
+  } else if (ts.aborts_this_txn > costs_.max_retries) {
+    serialize = true;  // BG/Q rollback limit / RTM retry budget
+  } else if (reason == AbortReason::kCapacity && !costs_.hardware_retry &&
+             ts.capacity_aborts_this_txn >= 2) {
+    // RTM software retry gives a deterministic overflow one more chance
+    // (it may have been a transient associativity conflict), then falls
+    // back to the lock.
+    serialize = true;
+  }
+
+  if (serialize) {
+    ts.want_serialize = true;
+    queue_.push(resume, tid, kRetry);
+    return;
+  }
+
+  // Retry with exponential backoff to avoid livelock (§4.1). The BG/Q TM
+  // runtime also delays between its automatic rollback retries.
+  resume += backoff_.wait(ts.aborts_this_txn - 1, ts.ctx.rng_.next_double());
+  queue_.push(resume, tid, kRetry);
+}
+
+void DesMachine::enter_serialized(std::uint32_t tid, double ready_time) {
+  auto& ts = *threads_[tid];
+  SerialDomain& dom = domain_of(tid);
+  if (dom.held) {
+    // Another serializer holds the lock; queue up. on_serial_commit()
+    // admits waiters in FIFO order after its writes are visible.
+    dom.waiters.push_back(tid);
+    return;
+  }
+  dom.held = true;
+  ++ts.stats.serialized;
+  const double start = std::max(ready_time, dom.free_at);
+  // Taking the lock aborts every overlapping speculative transaction in
+  // this domain: they subscribed to this word and will fail validation.
+  bump_addr(dom.lock);
+
+  ts.spec_start = start;
+  ts.txn_duration = costs_.serialize_acquire_ns;
+  ts.write_buffer.clear();
+  ts.tracker.reset();
+  ts.txn.start_ = start;
+  ts.txn.serialized_ = true;
+
+  bool aborted = false;
+  try {
+    ts.body(ts.txn);
+  } catch (const TxAbort& a) {
+    // Only explicit aborts are possible on the irrevocable path; treat as
+    // a completed no-op activity (the body chose to do nothing).
+    AAM_CHECK_MSG(a.reason == AbortReason::kExplicit,
+                  "non-explicit abort on the serialized path");
+    aborted = true;
+    ts.write_buffer.clear();
+  }
+  (void)aborted;
+
+  const double end = start + ts.txn_duration;
+  dom.free_at = end;
+  queue_.push(end, tid, kSerialCommit);
+}
+
+void DesMachine::on_serial_commit(std::uint32_t tid) {
+  auto& ts = *threads_[tid];
+  const double end = now_;
+  ts.write_buffer.for_each([this](std::uintptr_t addr, std::uint64_t word) {
+    write_committed_word(addr, word);
+  });
+  for (std::uint64_t unit : ts.tracker.write_units()) {
+    bump_unit(unit);
+  }
+  SerialDomain& dom = domain_of(tid);
+  dom.held = false;
+  finish_txn(tid, /*serialized=*/true, end);
+  if (!dom.waiters.empty()) {
+    const std::uint32_t next = dom.waiters.front();
+    dom.waiters.erase(dom.waiters.begin());
+    enter_serialized(next, end);
+  }
+}
+
+void DesMachine::finish_txn(std::uint32_t tid, bool serialized,
+                            double end_time) {
+  auto& ts = *threads_[tid];
+  ts.txn_inflight = false;
+  ts.want_serialize = false;
+  ts.ctx.clock_ = end_time;
+  if (ts.done) {
+    TxnOutcome outcome;
+    outcome.serialized = serialized;
+    outcome.aborts = ts.aborts_this_txn;
+    outcome.start_ns = ts.first_start;
+    outcome.end_ns = end_time;
+    TxnDone done = std::move(ts.done);
+    ts.done = nullptr;
+    ts.ctx.staged_ = false;
+    done(ts.ctx, outcome);
+    AAM_CHECK_MSG(!ts.ctx.staged_,
+                  "staging a transaction from a done callback is not allowed");
+  }
+  ts.body = nullptr;
+  queue_.push(ts.ctx.clock_, tid, kNext);
+}
+
+std::uint64_t DesMachine::read_committed_word(std::uintptr_t addr) const {
+  std::uint64_t word;
+  std::memcpy(&word, reinterpret_cast<const void*>(addr), 8);
+  return word;
+}
+
+void DesMachine::write_committed_word(std::uintptr_t addr,
+                                      std::uint64_t word) {
+  std::memcpy(reinterpret_cast<void*>(addr), &word, 8);
+}
+
+}  // namespace aam::htm

@@ -1,0 +1,332 @@
+#pragma once
+
+// Discrete-event HTM machine.
+//
+// DesMachine simulates one machine configuration (§5.1) with T logical
+// threads sharing a SimHeap. Each thread runs a Worker; the engine drives
+// all threads in virtual-time order through a deterministic event queue.
+//
+// Transactions follow an optimistic two-phase protocol that reproduces the
+// dynamics of real HTM under the lazy-subscription model:
+//
+//   * at its start event, a transaction executes its body speculatively
+//     against the committed memory state of that instant, buffering writes
+//     and accumulating cost from the machine's HTM cost table;
+//   * a commit event is scheduled at start + duration; at that event the
+//     footprint is validated against per-line commit timestamps — any line
+//     committed by an overlapping transaction/atomic aborts it (first
+//     committer wins);
+//   * aborted transactions retry per the variant policy: RTM retries in
+//     software with exponential backoff, HLE serializes after the first
+//     abort, BG/Q auto-retries up to max_rollbacks then serializes.
+//
+// Capacity aborts fire during the speculative run when the footprint
+// exceeds the variant's cache geometry; "other" aborts are injected with a
+// duration-proportional Poisson model. Serialized (fallback) execution
+// takes a global elision lock that every speculative transaction subscribes
+// to, so overlapping speculation aborts exactly as on real hardware.
+//
+// Atomics (CAS/ACC) execute at their linearization instant with a
+// cache-line contention model: a hot line delays the next atomic from
+// another thread by the line-transfer time, which reproduces the Fig 3
+// latency growth of contended CAS/ACC with T.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "htm/abort.hpp"
+#include "mem/footprint.hpp"
+#include "mem/sim_heap.hpp"
+#include "model/machines.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace aam::htm {
+
+class DesMachine;
+class ThreadCtx;
+
+/// A transactional execution context handed to activity bodies. All data
+/// accessed through it must live on the machine's SimHeap.
+class Txn {
+ public:
+  /// Transactional load of a trivially-copyable value of at most 8 bytes.
+  template <typename T>
+  T load(const T& ref) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    std::uint64_t word = load_word(reinterpret_cast<std::uintptr_t>(&ref));
+    T out;
+    const std::size_t off = reinterpret_cast<std::uintptr_t>(&ref) & 7u;
+    std::memcpy(&out, reinterpret_cast<const char*>(&word) + off, sizeof(T));
+    return out;
+  }
+
+  /// Transactional store (buffered until commit).
+  template <typename T>
+  void store(T& ref, T value) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(&ref);
+    std::uint64_t word = peek_word_for_store(addr);
+    const std::size_t off = addr & 7u;
+    std::memcpy(reinterpret_cast<char*>(&word) + off, &value, sizeof(T));
+    store_word(addr, word);
+  }
+
+  /// Read-modify-write convenience (costs one load + one store).
+  template <typename T>
+  T fetch_add(T& ref, T delta) {
+    const T old = load(ref);
+    store(ref, static_cast<T>(old + delta));
+    return old;
+  }
+
+  /// Explicit abort: throws TxAbort; the retry policy applies as usual.
+  [[noreturn]] void abort();
+
+  /// True when running on the serialized (irrevocable) fallback path.
+  bool serialized() const { return serialized_; }
+
+  /// Virtual time at which this attempt began.
+  double start_time() const { return start_; }
+
+ private:
+  friend class DesMachine;
+  Txn() = default;
+
+  std::uint64_t load_word(std::uintptr_t addr);
+  std::uint64_t peek_word_for_store(std::uintptr_t addr);
+  void store_word(std::uintptr_t addr, std::uint64_t word);
+
+  DesMachine* machine_ = nullptr;
+  std::uint32_t tid_ = 0;
+  double start_ = 0;
+  bool serialized_ = false;
+};
+
+using TxnBody = std::function<void(Txn&)>;
+using TxnDone = std::function<void(ThreadCtx&, const TxnOutcome&)>;
+
+/// Per-thread non-transactional context: plain/atomic memory operations
+/// with modelled costs, timing, RNG, and transaction staging.
+class ThreadCtx {
+ public:
+  double now() const { return clock_; }
+  std::uint32_t thread_id() const { return tid_; }
+  util::Rng& rng() { return rng_; }
+  DesMachine& machine() { return *machine_; }
+
+  /// Plain load with modelled cost (no synchronization).
+  template <typename T>
+  T load(const T& ref) {
+    charge_load();
+    return ref;
+  }
+
+  /// Plain store with modelled cost; bumps the line version so overlapping
+  /// transactions observe the write.
+  template <typename T>
+  void store(T& ref, T value) {
+    charge_store(reinterpret_cast<const void*>(&ref));
+    ref = value;
+  }
+
+  /// Advance this thread's clock by `cost_ns` of local computation.
+  void compute(double cost_ns) { clock_ += cost_ns; }
+
+  /// Atomic compare-and-swap (§2.3) with the contention model.
+  template <typename T>
+  bool cas(T& target, T expect, T desired) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    begin_atomic(&target, /*is_cas=*/true);
+    const bool ok = target == expect;
+    if (ok) {
+      target = desired;
+      commit_atomic_write(&target);
+    }
+    return ok;
+  }
+
+  /// Atomic fetch-and-add / accumulate (§2.3).
+  template <typename T>
+  T fetch_add(T& target, T delta) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    begin_atomic(&target, /*is_cas=*/false);
+    const T old = target;
+    target = static_cast<T>(old + delta);
+    commit_atomic_write(&target);
+    return old;
+  }
+
+  /// Stage a transactional activity. Must be the last action of the
+  /// current Worker::next() call; the body may run several times (retries)
+  /// and `done` fires once the activity completes (committed/serialized).
+  void stage_transaction(TxnBody body, TxnDone done = {});
+
+  /// True if a transaction has been staged in the current next() call.
+  bool has_staged() const { return staged_; }
+
+ private:
+  friend class DesMachine;
+  void charge_load();
+  void charge_store(const void* p);
+  void begin_atomic(const void* p, bool is_cas);
+  void commit_atomic_write(const void* p);
+
+  DesMachine* machine_ = nullptr;
+  std::uint32_t tid_ = 0;
+  double clock_ = 0;
+  util::Rng rng_;
+  bool staged_ = false;
+  TxnBody staged_body_;
+  TxnDone staged_done_;
+};
+
+/// Work source for one logical thread.
+class Worker {
+ public:
+  virtual ~Worker() = default;
+  /// Perform the thread's next unit of work through `ctx` (plain/atomic
+  /// ops synchronously, or stage one transaction). Return false to park
+  /// the thread; it can be re-activated via DesMachine::wake().
+  virtual bool next(ThreadCtx& ctx) = 0;
+};
+
+/// Called when every thread is parked and no events remain. Return true if
+/// new work was injected (threads woken) and the simulation should go on.
+using QuiescenceHook = std::function<bool(DesMachine&)>;
+
+class DesMachine {
+ public:
+  /// `kind` selects the HTM variant used for all staged transactions.
+  /// `num_domains` partitions the threads into serialization domains (one
+  /// per simulated node): each domain has its own elision/fallback lock,
+  /// matching per-node HTM fallback on a cluster. Threads are assigned to
+  /// domains in contiguous blocks of num_threads/num_domains.
+  DesMachine(const model::MachineConfig& config, model::HtmKind kind,
+             int num_threads, mem::SimHeap& heap, std::uint64_t seed = 1,
+             int num_domains = 1);
+  ~DesMachine();
+
+  DesMachine(const DesMachine&) = delete;
+  DesMachine& operator=(const DesMachine&) = delete;
+
+  /// Assign the worker for a thread (not owned; must outlive run()).
+  void set_worker(std::uint32_t tid, Worker* worker);
+  void set_quiescence_hook(QuiescenceHook hook) { quiescence_ = std::move(hook); }
+
+  /// Drive the simulation until global quiescence.
+  void run();
+
+  /// Wake a parked thread; it resumes at max(its clock, machine time).
+  void wake(std::uint32_t tid);
+
+  /// Release every parked thread at (max thread clock + barrier_cost_ns):
+  /// a synchronization barrier. Typically used from the quiescence hook.
+  void barrier_release(double barrier_cost_ns);
+
+  /// Schedule an arbitrary callback at virtual time `t` (used by the
+  /// network layer for message deliveries).
+  void schedule_callback(double t, std::function<void()> fn);
+
+  // --- introspection -------------------------------------------------------
+  double now() const { return now_; }
+  double thread_clock(std::uint32_t tid) const;
+  /// Makespan: the largest thread clock (all threads' completion time).
+  double makespan() const;
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  const model::MachineConfig& config() const { return config_; }
+  model::HtmKind htm_kind() const { return kind_; }
+  mem::SimHeap& heap() { return heap_; }
+  mem::StripeTable& stripes() { return stripes_; }
+
+  /// Marks the conflict unit containing `p` as committed "now" in
+  /// processing order: bumps the global commit stamp onto it so that
+  /// overlapping transactions abort. Two events at the same virtual
+  /// instant are ordered by processing sequence, and the stamp captures
+  /// exactly that order. Used by the engine at commits and by the network
+  /// layer for NIC-side atomics.
+  void bump_addr(const void* p) {
+    bump_unit(heap_.offset_of(p) >> conflict_shift_);
+  }
+
+  HtmStats stats() const;  ///< aggregated over all threads
+  const HtmStats& thread_stats(std::uint32_t tid) const;
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Resets all thread clocks to `t` (e.g. between measured phases) and
+  /// clears statistics if requested. All threads must be parked.
+  void reset_clocks(double t, bool clear_stats);
+
+ private:
+  friend class Txn;
+  friend class ThreadCtx;
+
+  enum EventKind : std::uint32_t { kNext, kCommit, kRetry, kSerialCommit, kCallback };
+
+  struct ThreadState;
+
+  void dispatch(const sim::Event& e);
+  void activate(std::uint32_t tid);      // call worker->next via kNext
+  void on_next(std::uint32_t tid);
+  void attempt_speculative(std::uint32_t tid);
+  void on_commit(std::uint32_t tid, std::uint64_t attempt_token);
+  void handle_abort(std::uint32_t tid, AbortReason reason, double at_time);
+  void enter_serialized(std::uint32_t tid, double ready_time);
+  void on_serial_commit(std::uint32_t tid);
+  void finish_txn(std::uint32_t tid, bool serialized, double end_time);
+
+  // Word-granularity committed-memory access helpers for Txn.
+  std::uint64_t read_committed_word(std::uintptr_t addr) const;
+  void write_committed_word(std::uintptr_t addr, std::uint64_t word);
+
+  const model::MachineConfig& config_;
+  model::HtmKind kind_;
+  const model::HtmCosts& costs_;
+  mem::SimHeap& heap_;
+  mem::StripeTable stripes_;
+  sim::EventQueue queue_;
+  sim::Backoff backoff_;
+  QuiescenceHook quiescence_;
+
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::size_t> callback_free_;
+
+  // Per-domain elision/fallback lock: every speculative transaction
+  // subscribes to its domain's lock line; serialized executions own it
+  // exclusively. Admission is managed with an explicit held flag plus a
+  // FIFO waiter queue so that a waiter can never observe the holder's
+  // pre-commit state, even when its retry event carries the same virtual
+  // timestamp as the holder's commit.
+  struct SerialDomain {
+    std::uint64_t* lock = nullptr;
+    bool held = false;
+    std::vector<std::uint32_t> waiters;
+    double free_at = 0;  ///< virtual time the fallback lock frees up
+    /// Token bucket of the node's shared atomic unit (AtomicCosts::
+    /// global_gap_ns): admits one atomic per gap of *event* time.
+    double atomic_free = 0;
+  };
+  std::vector<SerialDomain> domains_;
+  std::uint32_t threads_per_domain_ = 1;
+  SerialDomain& domain_of(std::uint32_t tid) {
+    return domains_[tid / threads_per_domain_];
+  }
+
+  /// Monotonic commit-order stamp over conflict units (heap offset >>
+  /// conflict_shift_, per the HTM variant's detection granularity).
+  std::uint64_t commit_stamp_ = 0;
+  std::uint32_t conflict_shift_ = 6;
+  std::vector<std::uint64_t> unit_stamps_;
+  void bump_unit(std::uint64_t unit) {
+    unit_stamps_[unit] = ++commit_stamp_;
+  }
+
+  double now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace aam::htm

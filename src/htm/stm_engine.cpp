@@ -1,0 +1,127 @@
+#include "htm/stm_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aam::htm {
+
+namespace {
+constexpr std::uint64_t kLockedBit = 1;
+
+bool is_locked(std::uint64_t w) { return (w & kLockedBit) != 0; }
+std::uint64_t version_of(std::uint64_t w) { return w >> 1; }
+std::uint64_t make_word(std::uint64_t version, bool locked) {
+  return (version << 1) | (locked ? kLockedBit : 0);
+}
+}  // namespace
+
+StmEngine::StmEngine(std::size_t stripe_locks) {
+  std::size_t n = 64;
+  while (n < stripe_locks) n <<= 1;
+  locks_ = std::vector<VersionedLock>(n);
+  mask_ = static_cast<std::uint32_t>(n - 1);
+}
+
+std::uint32_t StmEngine::stripe_of(std::uintptr_t addr) const {
+  return static_cast<std::uint32_t>(util::mix64(addr >> 6) & mask_);
+}
+
+void StmEngine::begin(StmTxn& txn) {
+  txn.snapshot_ = clock_.load(std::memory_order_acquire);
+  txn.write_buffer_.clear();
+  txn.read_stripes_.clear();
+  txn.write_stripes_.clear();
+  txn.seen_read_.clear();
+  txn.seen_write_.clear();
+}
+
+std::uint64_t StmTxn::load_word(std::uintptr_t word_addr) {
+  std::uint64_t buffered;
+  if (write_buffer_.lookup(word_addr, buffered)) return buffered;
+
+  const std::uint32_t stripe = engine_.stripe_of(word_addr);
+  auto& lock = engine_.locks_[stripe].word;
+
+  const std::uint64_t pre = lock.load(std::memory_order_acquire);
+  if (is_locked(pre) || version_of(pre) > snapshot_) {
+    throw TxAbort{AbortReason::kConflict};
+  }
+  std::uint64_t value;
+  std::memcpy(&value, reinterpret_cast<const void*>(word_addr), 8);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t post = lock.load(std::memory_order_acquire);
+  if (post != pre) throw TxAbort{AbortReason::kConflict};
+
+  if (seen_read_.insert(stripe)) read_stripes_.push_back(stripe);
+  return value;
+}
+
+void StmTxn::store_word(std::uintptr_t word_addr, std::uint64_t word) {
+  write_buffer_.insert_or_assign(word_addr, word);
+  const std::uint32_t stripe = engine_.stripe_of(word_addr);
+  if (seen_write_.insert(stripe)) write_stripes_.push_back(stripe);
+}
+
+bool StmEngine::commit(StmTxn& txn) {
+  if (txn.write_stripes_.empty()) return true;  // read-only: snapshot valid
+
+  // Acquire write locks in canonical order (no deadlocks).
+  std::sort(txn.write_stripes_.begin(), txn.write_stripes_.end());
+  std::size_t held = 0;
+  for (; held < txn.write_stripes_.size(); ++held) {
+    auto& lock = locks_[txn.write_stripes_[held]].word;
+    std::uint64_t cur = lock.load(std::memory_order_relaxed);
+    if (is_locked(cur) || version_of(cur) > txn.snapshot_ ||
+        !lock.compare_exchange_strong(cur, cur | kLockedBit,
+                                      std::memory_order_acquire)) {
+      break;
+    }
+  }
+  if (held != txn.write_stripes_.size()) {
+    for (std::size_t i = 0; i < held; ++i) {
+      auto& lock = locks_[txn.write_stripes_[i]].word;
+      lock.fetch_and(~kLockedBit, std::memory_order_release);
+    }
+    return false;
+  }
+
+  const std::uint64_t wv = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Revalidate the read set (write stripes are already ours).
+  for (std::uint32_t stripe : txn.read_stripes_) {
+    if (txn.seen_write_.contains(stripe)) continue;
+    const std::uint64_t w = locks_[stripe].word.load(std::memory_order_acquire);
+    if (is_locked(w) || version_of(w) > txn.snapshot_) {
+      for (std::uint32_t ws : txn.write_stripes_) {
+        locks_[ws].word.fetch_and(~kLockedBit, std::memory_order_release);
+      }
+      return false;
+    }
+  }
+
+  txn.write_buffer_.for_each([](std::uintptr_t addr, std::uint64_t word) {
+    std::memcpy(reinterpret_cast<void*>(addr), &word, 8);
+  });
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::uint32_t stripe : txn.write_stripes_) {
+    locks_[stripe].word.store(make_word(wv, false),
+                              std::memory_order_release);
+  }
+  return true;
+}
+
+void StmEngine::backoff(int attempt) {
+  if (attempt < 4) {
+    std::this_thread::yield();
+    return;
+  }
+  // Deterministic truncated exponential backoff; capped at ~64us.
+  const int exp = std::min(attempt, 10);
+  std::this_thread::sleep_for(std::chrono::nanoseconds{64LL << exp});
+}
+
+}  // namespace aam::htm

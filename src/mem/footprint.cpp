@@ -1,0 +1,178 @@
+#include "mem/footprint.hpp"
+
+#include "util/rng.hpp"
+
+namespace aam::mem {
+
+namespace {
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 16;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- EpochSet
+
+EpochSet::EpochSet(std::size_t initial_capacity)
+    : slots_(round_up_pow2(initial_capacity * 2)),
+      mask_(slots_.size() - 1) {}
+
+void EpochSet::clear() {
+  ++epoch_;
+  size_ = 0;
+}
+
+std::size_t EpochSet::probe(std::uint64_t key) const {
+  std::size_t i = util::mix64(key) & mask_;
+  while (slots_[i].epoch == epoch_ && slots_[i].key != key) {
+    i = (i + 1) & mask_;
+  }
+  return i;
+}
+
+bool EpochSet::insert(std::uint64_t key) {
+  if (size_ * 10 >= slots_.size() * 7) grow();
+  const std::size_t i = probe(key);
+  if (slots_[i].epoch == epoch_) return false;  // already present
+  slots_[i] = Slot{key, epoch_};
+  ++size_;
+  return true;
+}
+
+bool EpochSet::contains(std::uint64_t key) const {
+  const std::size_t i = probe(key);
+  return slots_[i].epoch == epoch_;
+}
+
+void EpochSet::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  const std::uint64_t old_epoch = epoch_;
+  ++epoch_;
+  size_ = 0;
+  for (const Slot& s : old) {
+    if (s.epoch == old_epoch) insert(s.key);
+  }
+}
+
+// ----------------------------------------------------------------- WordMap
+
+WordMap::WordMap(std::size_t initial_capacity)
+    : slots_(round_up_pow2(initial_capacity * 2)),
+      mask_(slots_.size() - 1) {}
+
+void WordMap::clear() {
+  ++epoch_;
+  keys_.clear();
+}
+
+bool WordMap::lookup(std::uintptr_t addr, std::uint64_t& value) const {
+  std::size_t i = util::mix64(addr) & mask_;
+  while (slots_[i].epoch == epoch_) {
+    if (slots_[i].key == addr) {
+      value = slots_[i].value;
+      return true;
+    }
+    i = (i + 1) & mask_;
+  }
+  return false;
+}
+
+void WordMap::insert_or_assign(std::uintptr_t addr, std::uint64_t value) {
+  if (keys_.size() * 10 >= slots_.size() * 7) grow();
+  std::size_t i = util::mix64(addr) & mask_;
+  while (slots_[i].epoch == epoch_) {
+    if (slots_[i].key == addr) {
+      slots_[i].value = value;
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = Slot{addr, value, epoch_};
+  keys_.push_back(addr);
+}
+
+void WordMap::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  const std::uint64_t old_epoch = epoch_;
+  ++epoch_;
+  std::vector<std::uintptr_t> keys = std::move(keys_);
+  keys_.clear();
+  for (std::uintptr_t key : keys) {
+    // Find the value in the old table and reinsert.
+    std::size_t i = util::mix64(key) & (old.size() - 1);
+    while (old[i].key != key || old[i].epoch != old_epoch) {
+      i = (i + 1) & (old.size() - 1);
+    }
+    insert_or_assign(key, old[i].value);
+  }
+}
+
+// ------------------------------------------------------- FootprintTracker
+
+void FootprintTracker::configure(const model::CacheGeometry& write_geometry,
+                                 std::uint32_t read_capacity_lines,
+                                 std::uint32_t conflict_shift) {
+  write_geom_ = write_geometry;
+  read_capacity_lines_ = read_capacity_lines;
+  conflict_shift_ = conflict_shift;
+  set_count_.assign(write_geom_.sets, 0);
+  set_epoch_.assign(write_geom_.sets, 0);
+  epoch_ = 1;
+  reset();
+}
+
+void FootprintTracker::reset() {
+  written_units_.clear();
+  read_units_set_.clear();
+  written_lines_.clear();
+  read_lines_set_.clear();
+  write_units_.clear();
+  read_units_.clear();
+  write_lines_ = 0;
+  read_lines_ = 0;
+  ++epoch_;
+}
+
+FootprintTracker::Add FootprintTracker::add_write(std::uint64_t offset) {
+  AAM_DCHECK(!set_count_.empty());  // configure() was called
+  const std::uint64_t unit = offset >> conflict_shift_;
+  if (written_units_.insert(unit)) write_units_.push_back(unit);
+
+  const LineId line = offset / kLineBytes;
+  if (!written_lines_.insert(line)) return Add::kDuplicate;
+  ++write_lines_;
+  if (write_lines_ > write_geom_.capacity_lines()) {
+    return Add::kOverflow;
+  }
+  // Physical set index: lines are heap-offset indices, so modulo models a
+  // physically-indexed cache.
+  const std::size_t set = line % write_geom_.sets;
+  if (set_epoch_[set] != epoch_) {
+    set_epoch_[set] = epoch_;
+    set_count_[set] = 0;
+  }
+  if (++set_count_[set] > write_geom_.ways) {
+    return Add::kOverflow;  // associativity eviction of speculative state
+  }
+  return Add::kOk;
+}
+
+FootprintTracker::Add FootprintTracker::add_read(std::uint64_t offset) {
+  const std::uint64_t unit = offset >> conflict_shift_;
+  if (!written_units_.contains(unit) && read_units_set_.insert(unit)) {
+    read_units_.push_back(unit);
+  }
+  const LineId line = offset / kLineBytes;
+  if (written_lines_.contains(line)) return Add::kDuplicate;
+  if (!read_lines_set_.insert(line)) return Add::kDuplicate;
+  ++read_lines_;
+  if (read_lines_ > read_capacity_lines_) return Add::kOverflow;
+  return Add::kOk;
+}
+
+}  // namespace aam::mem

@@ -1,0 +1,139 @@
+#pragma once
+
+// Transaction-local footprint data structures.
+//
+// A speculative transaction needs three things, all rebuilt from scratch on
+// every (re)execution, so they are designed for O(1) epoch-based clearing:
+//
+//  * WordMap   — the redo log: word-granularity speculative write buffer
+//                (address -> 8-byte value), iterable for commit.
+//  * EpochSet  — dedup of touched lines for read/write set construction.
+//  * FootprintTracker — maps the distinct lines into the cache geometry of
+//                the HTM variant and reports capacity overflows (the
+//                "buffer overflow" abort class of §5).
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/sim_heap.hpp"
+#include "model/machines.hpp"
+#include "util/check.hpp"
+
+namespace aam::mem {
+
+/// Open-addressing u64 set with epoch-stamped slots: clear() is O(1).
+class EpochSet {
+ public:
+  explicit EpochSet(std::size_t initial_capacity = 64);
+
+  void clear();
+  /// Inserts `key`; returns true when the key was not present.
+  bool insert(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t epoch = 0;
+  };
+  void grow();
+  std::size_t probe(std::uint64_t key) const;
+
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 1;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+/// Open-addressing address -> 64-bit-value map with epoch clearing and an
+/// insertion-order key list for commit iteration.
+class WordMap {
+ public:
+  explicit WordMap(std::size_t initial_capacity = 64);
+
+  void clear();
+  /// Looks up the buffered value for an 8-byte-aligned word address.
+  bool lookup(std::uintptr_t addr, std::uint64_t& value) const;
+  void insert_or_assign(std::uintptr_t addr, std::uint64_t value);
+  std::size_t size() const { return keys_.size(); }
+
+  /// Iterates entries in insertion order (commit write-back order).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::uintptr_t key : keys_) {
+      std::uint64_t value = 0;
+      const bool found = lookup(key, value);
+      AAM_DCHECK(found);
+      (void)found;
+      fn(key, value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uintptr_t key = 0;
+    std::uint64_t value = 0;
+    std::uint64_t epoch = 0;
+  };
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uintptr_t> keys_;
+  std::uint64_t epoch_ = 1;
+  std::size_t mask_ = 0;
+};
+
+/// Tracks the distinct cache lines a transaction touches — for the
+/// capacity model (per-set associativity / total budget) — and separately
+/// the *conflict units* at the HTM variant's detection granularity (64B
+/// lines on Haswell, 8B words on BG/Q), for commit validation.
+class FootprintTracker {
+ public:
+  FootprintTracker() = default;
+
+  /// Must be called before use and whenever the HTM variant changes.
+  /// `conflict_shift` is log2 of the conflict-detection granularity.
+  void configure(const model::CacheGeometry& write_geometry,
+                 std::uint32_t read_capacity_lines,
+                 std::uint32_t conflict_shift = 6);
+
+  void reset();
+
+  enum class Add : std::uint8_t { kOk, kOverflow, kDuplicate };
+
+  /// Records a write at heap offset `offset`; kOverflow = capacity abort.
+  Add add_write(std::uint64_t offset);
+  /// Records a read (no associativity constraint, total budget only).
+  Add add_read(std::uint64_t offset);
+
+  /// Distinct conflict units written / read (validation + stamp bumping).
+  const std::vector<std::uint64_t>& write_units() const {
+    return write_units_;
+  }
+  const std::vector<std::uint64_t>& read_units() const { return read_units_; }
+  /// Distinct cache lines (the capacity/eviction footprint).
+  std::size_t distinct_write_lines() const { return write_lines_; }
+  std::size_t distinct_read_lines() const { return read_lines_; }
+
+ private:
+  model::CacheGeometry write_geom_;
+  std::uint32_t read_capacity_lines_ = 0;
+  std::uint32_t conflict_shift_ = 6;
+
+  EpochSet written_units_;
+  EpochSet read_units_set_;
+  EpochSet written_lines_;
+  EpochSet read_lines_set_;
+  std::vector<std::uint64_t> write_units_;
+  std::vector<std::uint64_t> read_units_;
+  std::size_t write_lines_ = 0;
+  std::size_t read_lines_ = 0;
+
+  // Epoch-stamped per-set occupancy for the write geometry.
+  std::vector<std::uint32_t> set_count_;
+  std::vector<std::uint64_t> set_epoch_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace aam::mem

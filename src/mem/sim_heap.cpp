@@ -1,0 +1,25 @@
+#include "mem/sim_heap.hpp"
+
+#include <cstring>
+
+namespace aam::mem {
+
+SimHeap::SimHeap(std::size_t bytes) {
+  capacity_ = (bytes + kLineBytes - 1) / kLineBytes * kLineBytes;
+  // Over-allocate one line so the base can be aligned to a line boundary.
+  storage_ = std::make_unique<std::byte[]>(capacity_ + kLineBytes);
+  const auto addr = reinterpret_cast<std::uintptr_t>(storage_.get());
+  const std::uintptr_t aligned = (addr + kLineBytes - 1) & ~(kLineBytes - 1);
+  base_ = reinterpret_cast<std::byte*>(aligned);
+}
+
+std::byte* SimHeap::raw_alloc(std::size_t bytes, std::size_t align) {
+  const std::size_t aligned_used = (used_ + align - 1) & ~(align - 1);
+  AAM_CHECK_MSG(aligned_used + bytes <= capacity_,
+                "SimHeap out of capacity; size it for the workload");
+  std::byte* p = base_ + aligned_used;
+  used_ = aligned_used + bytes;
+  return p;
+}
+
+}  // namespace aam::mem

@@ -1,0 +1,144 @@
+#pragma once
+
+// Simulated shared memory.
+//
+// All data manipulated inside the discrete-event simulation must live on a
+// SimHeap so that the engine can map any address to a cache line ("stripe")
+// index in O(1) and attach per-line metadata: the commit timestamp of the
+// last writer (for optimistic conflict detection) and the time until which
+// the line is "owned" by an in-flight atomic (for the contention model).
+//
+// The heap is a bump allocator over one contiguous cache-line-aligned
+// region; freeing is wholesale via reset(). That matches how the library
+// uses it: a benchmark allocates graph + algorithm state once, runs, and
+// throws the heap away.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace aam::mem {
+
+inline constexpr std::size_t kLineBytes = 64;
+
+/// Dense index of a 64-byte line within a SimHeap.
+using LineId = std::uint64_t;
+
+class SimHeap {
+ public:
+  /// Creates a heap of `bytes` capacity (rounded up to a line multiple).
+  explicit SimHeap(std::size_t bytes);
+
+  SimHeap(const SimHeap&) = delete;
+  SimHeap& operator=(const SimHeap&) = delete;
+
+  /// Allocates `count` default-initialized objects of trivially-copyable
+  /// type T, aligned to max(alignof(T), 8). Aborts when out of capacity —
+  /// a simulation with silently relocated data would be meaningless.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "simulated memory holds trivially-copyable data only");
+    const std::size_t align = alignof(T) < 8 ? 8 : alignof(T);
+    std::byte* p = raw_alloc(count * sizeof(T), align);
+    T* typed = reinterpret_cast<T*>(p);
+    for (std::size_t i = 0; i < count; ++i) typed[i] = T{};
+    return {typed, count};
+  }
+
+  /// Allocates one object, forwarding an initial value.
+  template <typename T>
+  T* alloc_one(const T& init = T{}) {
+    auto s = alloc<T>(1);
+    s[0] = init;
+    return s.data();
+  }
+
+  /// Allocates one object alone on its own cache line (no false sharing);
+  /// used for global synchronization words such as the elision lock.
+  template <typename T>
+  T* alloc_isolated(const T& init = T{}) {
+    static_assert(sizeof(T) <= kLineBytes);
+    std::byte* p = raw_alloc(kLineBytes, kLineBytes);
+    T* typed = reinterpret_cast<T*>(p);
+    *typed = init;
+    return typed;
+  }
+
+  /// True if `p` points into this heap.
+  bool contains(const void* p) const {
+    const std::byte* b = static_cast<const std::byte*>(p);
+    return b >= base_ && b < base_ + used_;
+  }
+
+  /// Maps an address to its line index. The address must be on-heap.
+  LineId line_of(const void* p) const {
+    AAM_DCHECK(contains(p));
+    return static_cast<LineId>(
+        (static_cast<const std::byte*>(p) - base_) / kLineBytes);
+  }
+
+  /// Byte offset of an on-heap address from the heap base.
+  std::uint64_t offset_of(const void* p) const {
+    AAM_DCHECK(contains(p));
+    return static_cast<std::uint64_t>(static_cast<const std::byte*>(p) -
+                                      base_);
+  }
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const { return used_; }
+  std::size_t num_lines() const { return capacity_ / kLineBytes; }
+
+  /// Releases all allocations (metadata in StripeTable is reset separately).
+  void reset() { used_ = 0; }
+
+ private:
+  std::byte* raw_alloc(std::size_t bytes, std::size_t align);
+
+  std::unique_ptr<std::byte[]> storage_;
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+/// Per-line contention metadata for the whole heap (the atomics model).
+/// Conflict *stamps* live in the engine at the HTM variant's detection
+/// granularity; see DesMachine.
+class StripeTable {
+ public:
+  inline static constexpr std::uint32_t kNoOwner =
+      static_cast<std::uint32_t>(-1);
+
+  explicit StripeTable(std::size_t num_lines)
+      : avail_(num_lines, 0.0), owner_(num_lines, kNoOwner) {}
+
+  /// Time until which the line is held by an in-flight atomic; the next
+  /// atomic on the line from *another* thread starts no earlier than this
+  /// (cache-line ping-pong).
+  sim::Time available_at(LineId line) const { return avail_[line]; }
+  void set_available_at(LineId line, sim::Time t) { avail_[line] = t; }
+
+  /// Thread currently holding the line in its cache (atomics contention
+  /// model); a thread re-accessing its own line pays no transfer.
+  std::uint32_t owner(LineId line) const { return owner_[line]; }
+  void set_owner(LineId line, std::uint32_t tid) { owner_[line] = tid; }
+
+  std::size_t num_lines() const { return avail_.size(); }
+
+  void reset() {
+    std::fill(avail_.begin(), avail_.end(), 0.0);
+    std::fill(owner_.begin(), owner_.end(), kNoOwner);
+  }
+
+ private:
+  std::vector<sim::Time> avail_;
+  std::vector<std::uint32_t> owner_;
+};
+
+}  // namespace aam::mem

@@ -1,0 +1,53 @@
+#include "model/perf_model.hpp"
+
+#include "util/check.hpp"
+
+namespace aam::model {
+
+ActivityModel htm_activity_model(const MachineConfig& machine, HtmKind kind,
+                                 const OperatorFootprint& fp) {
+  const HtmCosts& c = machine.htm(kind);
+  ActivityModel m;
+  m.intercept = c.begin_ns + c.commit_ns;
+  // A transactional visit pays tracked reads/writes plus the underlying
+  // cached accesses.
+  m.slope = fp.reads_per_vertex * (c.read_ns + machine.atomics.load_ns) +
+            fp.writes_per_vertex * (c.write_ns + machine.atomics.store_ns);
+  return m;
+}
+
+ActivityModel atomic_activity_model(const MachineConfig& machine,
+                                    bool use_cas) {
+  ActivityModel m;
+  m.intercept = 0.0;
+  // Per vertex: one read (operand fetch) plus the atomic itself.
+  m.slope = machine.atomics.load_ns +
+            (use_cas ? machine.atomics.cas_ns : machine.atomics.acc_ns);
+  return m;
+}
+
+double predicted_crossover(const MachineConfig& machine, HtmKind kind,
+                           bool use_cas, const OperatorFootprint& fp) {
+  const ActivityModel htm = htm_activity_model(machine, kind, fp);
+  const ActivityModel at = atomic_activity_model(machine, use_cas);
+  const double dslope = at.slope - htm.slope;
+  if (dslope <= 0.0) return -1.0;  // HTM per-vertex cost never amortizes
+  return (htm.intercept - at.intercept) / dslope;
+}
+
+ModelValidation validate_model(const MachineConfig& machine, HtmKind kind,
+                               const std::vector<double>& sizes,
+                               const std::vector<double>& atomic_times,
+                               const std::vector<double>& htm_times,
+                               bool use_cas, const OperatorFootprint& fp) {
+  AAM_CHECK(sizes.size() == atomic_times.size());
+  AAM_CHECK(sizes.size() == htm_times.size());
+  ModelValidation v;
+  v.atomic_fit = util::fit_linear(sizes, atomic_times);
+  v.htm_fit = util::fit_linear(sizes, htm_times);
+  v.measured_crossover = util::crossover(v.htm_fit, v.atomic_fit);
+  v.predicted_crossover = predicted_crossover(machine, kind, use_cas, fp);
+  return v;
+}
+
+}  // namespace aam::model

@@ -1,0 +1,72 @@
+#pragma once
+
+// The §5.3 performance model.
+//
+// The total time of an activity that modifies N vertices is modelled as a
+// linear function t(N) = A*N + B, separately for atomics (A_AT, B_AT) and
+// for HTM (A_HTM, B_HTM). The paper predicts B_HTM > B_AT (transactional
+// begin/commit overhead) and A_HTM < A_AT (per-access transactional cost
+// grows slower than an atomic per vertex), so that coarse transactions
+// cross over and win beyond some N.
+//
+// This module derives the predicted model parameters directly from a
+// machine's cost tables, and offers utilities for validating the prediction
+// against measured sweeps (Fig 2).
+
+#include <vector>
+
+#include "model/machines.hpp"
+#include "util/stats.hpp"
+
+namespace aam::model {
+
+/// Closed-form model parameters derived from cost tables.
+struct ActivityModel {
+  double slope = 0;      ///< A: marginal per-vertex cost [ns]
+  double intercept = 0;  ///< B: fixed activity overhead [ns]
+  double eval(double n) const { return slope * n + intercept; }
+};
+
+/// Number of transactional accesses an operator issues per vertex. A BFS
+/// visit reads the distance/visited word and conditionally writes it; a
+/// PageRank update reads and writes the rank.
+struct OperatorFootprint {
+  double reads_per_vertex = 1.0;
+  double writes_per_vertex = 1.0;
+  /// Distinct cache lines touched per vertex (vertex state + payload).
+  double lines_per_vertex = 1.0;
+};
+
+/// Predicted t(N) for an activity of N vertices executed as ONE transaction
+/// of the given kind (no contention, no aborts: the Fig 2 regime).
+ActivityModel htm_activity_model(const MachineConfig& machine, HtmKind kind,
+                                 const OperatorFootprint& fp = {});
+
+/// Predicted t(N) for the same activity executed as N atomics. `use_cas`
+/// selects CAS (BFS-style) vs ACC (PageRank-style).
+ActivityModel atomic_activity_model(const MachineConfig& machine,
+                                    bool use_cas = true);
+
+/// Predicted crossover N* where the HTM activity becomes cheaper than the
+/// atomic one; negative if it never does.
+double predicted_crossover(const MachineConfig& machine, HtmKind kind,
+                           bool use_cas = true,
+                           const OperatorFootprint& fp = {});
+
+/// Fits measured (N, time) sweeps to the linear model and reports both fits
+/// plus the empirical crossover. Used by bench_fig2_model_validation.
+struct ModelValidation {
+  util::LinearFit atomic_fit;
+  util::LinearFit htm_fit;
+  double measured_crossover = -1.0;
+  double predicted_crossover = -1.0;
+};
+
+ModelValidation validate_model(const MachineConfig& machine, HtmKind kind,
+                               const std::vector<double>& sizes,
+                               const std::vector<double>& atomic_times,
+                               const std::vector<double>& htm_times,
+                               bool use_cas = true,
+                               const OperatorFootprint& fp = {});
+
+}  // namespace aam::model

@@ -1,0 +1,173 @@
+#pragma once
+
+// Simulated distributed-memory cluster (§3.1, §5.6).
+//
+// A Cluster lays N simulated nodes over one DesMachine event loop: node i
+// owns threads [i*T, (i+1)*T) and its own HTM serialization domain. The
+// network between nodes follows a LogGP-flavoured model (per-message sender
+// overhead o, wire latency L, per-byte cost 1/B) with parameters from the
+// machine config (§5.1: BG/Q 5D torus + PAMI, or InfiniBand FDR + MPI-3).
+//
+// Two communication mechanisms are provided, matching the paper's §5.6
+// comparison:
+//
+//  * Active messages (send/poll): a message carries a handler id, two
+//    scalar arguments and an optional payload of 64-bit items (coalesced
+//    operator invocations). Receiver threads poll their node's queue; the
+//    per-message receiver dispatch cost models the AM runtime.
+//  * RemoteAtomics: one-sided PAMI_Rmw / MPI-3-RMA-style remote CAS/ACC,
+//    processed "at the NIC" of the target without involving its threads,
+//    deeply pipelined at the sender.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "htm/des_engine.hpp"
+#include "mem/sim_heap.hpp"
+#include "model/machines.hpp"
+
+namespace aam::net {
+
+/// An in-flight or delivered active message.
+struct Message {
+  int src_node = 0;
+  int dst_node = 0;
+  std::uint32_t handler = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::vector<std::uint64_t> payload;  ///< coalesced items
+
+  /// Modelled wire size: a fixed header plus 8 bytes per payload item.
+  std::size_t wire_bytes() const { return 32 + payload.size() * 8; }
+};
+
+/// Receiver-side handler; runs on a polling thread of the target node.
+using AmHandler = std::function<void(htm::ThreadCtx&, const Message&)>;
+
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t items_sent = 0;   ///< payload items (coalescing numerator)
+  std::uint64_t remote_atomics = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(const model::MachineConfig& config, model::HtmKind kind,
+          int num_nodes, int threads_per_node, mem::SimHeap& heap,
+          std::uint64_t seed = 1);
+
+  htm::DesMachine& machine() { return machine_; }
+  int num_nodes() const { return num_nodes_; }
+  int threads_per_node() const { return threads_per_node_; }
+  const model::MachineConfig& config() const { return machine_.config(); }
+
+  int node_of_thread(std::uint32_t tid) const {
+    return static_cast<int>(tid) / threads_per_node_;
+  }
+  std::uint32_t thread_of(int node, int local) const {
+    return static_cast<std::uint32_t>(node * threads_per_node_ + local);
+  }
+
+  /// Registers a receiver-side handler; returns its id for send().
+  std::uint32_t register_handler(AmHandler handler);
+
+  /// Sends an active message from the calling thread. Charges the sender
+  /// overhead o to `ctx`; the message is delivered (enqueued and target
+  /// threads woken) after L + wire_bytes/B.
+  void send(htm::ThreadCtx& ctx, int dst_node, std::uint32_t handler,
+            std::uint64_t arg0, std::uint64_t arg1 = 0,
+            std::vector<std::uint64_t> payload = {});
+
+  /// Receiver polling: pops the next message for `ctx`'s node, charging
+  /// the per-message AM dispatch cost. Returns false when the queue is
+  /// empty. Does NOT run the handler — call run_handler() (so the worker
+  /// can decide to stage a transaction from within the handler).
+  bool poll(htm::ThreadCtx& ctx, Message& out);
+
+  /// Invokes the registered handler for a polled message.
+  void run_handler(htm::ThreadCtx& ctx, const Message& msg);
+
+  /// Convenience: poll and, if a message was available, run its handler.
+  bool poll_and_handle(htm::ThreadCtx& ctx);
+
+  bool queue_empty(int node) const { return queues_[node].empty(); }
+  std::size_t pending(int node) const { return queues_[node].size(); }
+  /// Messages sent but not yet delivered anywhere in the cluster.
+  std::uint64_t in_flight() const { return in_flight_; }
+
+  const NetStats& stats() const { return stats_; }
+  NetStats& stats_mutable() { return stats_; }
+
+ private:
+  htm::DesMachine machine_;
+  int num_nodes_;
+  int threads_per_node_;
+  std::vector<AmHandler> handlers_;
+  std::vector<std::deque<Message>> queues_;
+  NetStats stats_;
+  std::uint64_t in_flight_ = 0;
+};
+
+/// Per-destination buffering of operator invocations: messages flowing to
+/// the same target are sent as a single coalesced active message of up to
+/// C items (§4.2, §5.6). One Coalescer per sending thread.
+class Coalescer {
+ public:
+  /// `batch` is the coalescing factor C; C=1 disables coalescing.
+  Coalescer(Cluster& cluster, std::uint32_t handler, int batch);
+
+  /// Buffers one 64-bit item for `dst_node`; flushes when C items are
+  /// pending. `arg0` is carried in the message header of the flush.
+  void add(htm::ThreadCtx& ctx, int dst_node, std::uint64_t item,
+           std::uint64_t arg0 = 0);
+
+  /// Flushes any partial buffer for one node / all nodes.
+  void flush(htm::ThreadCtx& ctx, int dst_node);
+  void flush_all(htm::ThreadCtx& ctx);
+
+ private:
+  Cluster& cluster_;
+  std::uint32_t handler_;
+  int batch_;
+  std::vector<std::vector<std::uint64_t>> buffers_;  // per destination
+  std::vector<std::uint64_t> arg0_;
+};
+
+/// One-sided remote atomics in the style of PAMI_Rmw / MPI-3 RMA
+/// fetch-ops (§5.6). Operations are pipelined: the sender pays only the
+/// issue gap; the update applies at the target after the remote-atomic
+/// latency without involving target threads.
+class RemoteAtomics {
+ public:
+  explicit RemoteAtomics(Cluster& cluster);
+
+  /// Remote CAS on a 64-bit word owned by another node.
+  void cas_u64(htm::ThreadCtx& ctx, std::uint64_t& target,
+               std::uint64_t expect, std::uint64_t desired);
+  /// Remote accumulate (fetch-and-add) on a 64-bit word / double.
+  void acc_u64(htm::ThreadCtx& ctx, std::uint64_t& target,
+               std::uint64_t delta);
+  void acc_f64(htm::ThreadCtx& ctx, double& target, double delta);
+
+  /// Completion time of the last remote atomic applied at any target
+  /// (the makespan contribution of outstanding one-sided traffic).
+  double last_completion() const { return last_completion_; }
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  /// Charges the issue gap at the sender and schedules `apply` at the
+  /// target after the remote-atomic latency plus line contention.
+  void issue(htm::ThreadCtx& ctx, const void* target,
+             std::function<void()> apply);
+
+  Cluster& cluster_;
+  double last_completion_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace aam::net

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace aam::sim {
+
+std::uint64_t EventQueue::push(Time time, std::uint32_t thread,
+                               std::uint32_t kind, std::uint64_t payload) {
+  AAM_DCHECK(time >= 0);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{time, seq, thread, kind, payload});
+  std::push_heap(heap_.begin(), heap_.end(), Less{});
+  return seq;
+}
+
+Time EventQueue::peek_time() const {
+  AAM_CHECK(!heap_.empty());
+  return heap_.front().time;
+}
+
+Event EventQueue::pop() {
+  AAM_CHECK(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Less{});
+  Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+Time Backoff::window(int attempt) const {
+  Time w = base_;
+  for (int i = 0; i < attempt && w < max_; ++i) w *= 2.0;
+  return std::min(w, max_);
+}
+
+Time Backoff::wait(int attempt, double u01) const {
+  const Time w = window(attempt);
+  // (0, w]: never zero, so two conflicting parties cannot retry in lockstep.
+  return w * (1.0 - u01 * 0.999);
+}
+
+}  // namespace aam::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, sequence number); the sequence number is
+// assigned at push time, so ties resolve in insertion order and a run is
+// bit-reproducible regardless of heap internals.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aam::sim {
+
+struct Event {
+  Time time = 0;
+  std::uint64_t seq = 0;    ///< insertion order, breaks time ties
+  std::uint32_t thread = 0; ///< logical thread (or node endpoint) id
+  std::uint32_t kind = 0;   ///< engine-defined discriminator
+  std::uint64_t payload = 0;///< engine-defined payload (e.g. message id)
+};
+
+class EventQueue {
+ public:
+  /// Enqueue an event at `time`. Returns the assigned sequence number.
+  std::uint64_t push(Time time, std::uint32_t thread, std::uint32_t kind,
+                     std::uint64_t payload = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event time; queue must be non-empty.
+  Time peek_time() const;
+
+  /// Remove and return the earliest event.
+  Event pop();
+
+  /// Total events ever pushed (diagnostics).
+  std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Less {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Truncated exponential backoff with deterministic jitter, used by the
+/// RTM retry loop (§4.1) and the ownership protocol (§4.3).
+class Backoff {
+ public:
+  Backoff(Time base, Time max) : base_(base), max_(max) {}
+
+  /// Window for the given retry attempt (0-based), before jitter.
+  Time window(int attempt) const;
+
+  /// Jittered wait: uniform in (0, window(attempt)], drawn from `u01`
+  /// which must be in [0,1).
+  Time wait(int attempt, double u01) const;
+
+ private:
+  Time base_;
+  Time max_;
+};
+
+}  // namespace aam::sim

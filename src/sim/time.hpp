@@ -1,0 +1,19 @@
+#pragma once
+
+// Virtual time for the discrete-event simulation.
+//
+// All simulated durations and timestamps are nanoseconds held in a double.
+// Doubles give deterministic arithmetic (IEEE-754, no platform variance for
+// the operations we use) and enough precision: at nanosecond granularity a
+// double is exact up to ~2^53 ns (~104 days of simulated time).
+
+namespace aam::sim {
+
+using Time = double;  ///< nanoseconds of virtual time
+
+inline constexpr Time kNs = 1.0;
+inline constexpr Time kUs = 1e3;
+inline constexpr Time kMs = 1e6;
+inline constexpr Time kSec = 1e9;
+
+}  // namespace aam::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+// Lightweight runtime checks used across the library.
+//
+// AAM_CHECK is always on (it guards invariants whose violation would make
+// results meaningless, e.g. unregistered simulated memory). AAM_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aam::util {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "AAM_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace aam::util
+
+#define AAM_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) ::aam::util::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AAM_CHECK_MSG(cond, msg)                                 \
+  do {                                                           \
+    if (!(cond)) ::aam::util::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AAM_DCHECK(cond) ((void)0)
+#else
+#define AAM_DCHECK(cond) AAM_CHECK(cond)
+#endif

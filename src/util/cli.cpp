@@ -1,0 +1,88 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace aam::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "aam";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name, double def) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& def) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 0));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void Cli::check_unknown() const {
+  bool bad = false;
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.count(name)) {
+      std::fprintf(stderr, "unknown flag: --%s=%s\n", name.c_str(), value.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace aam::util

@@ -1,0 +1,52 @@
+#pragma once
+
+// Console table + CSV emission for benchmark harnesses.
+//
+// Every bench binary prints an aligned human-readable table (the rows of the
+// paper figure/table it reproduces) and can optionally mirror the same rows
+// into a CSV file for plotting.
+
+#include <string>
+#include <vector>
+
+namespace aam::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render as an aligned console table.
+  std::string to_string() const;
+  /// Render as CSV (headers + rows).
+  std::string to_csv() const;
+  /// Print to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+  /// Write CSV to `path`; creates/truncates the file.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+/// Human-friendly time formatting: picks ns/us/ms/s based on magnitude.
+std::string format_time_ns(double ns);
+
+/// Formats with SI-style thousands grouping: 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t value);
+
+}  // namespace aam::util

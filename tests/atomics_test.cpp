@@ -1,0 +1,116 @@
+// Tests for the §2.3 atomic-operation vocabulary on real std::atomics.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "atomics/ops.hpp"
+
+namespace aam::atomics {
+namespace {
+
+TEST(Ops, AccumulateAppliesOp) {
+  std::atomic<int> x{10};
+  accumulate<int>(x, 5, [](int a, int b) { return a + b; });
+  EXPECT_EQ(x.load(), 15);
+  accumulate<int>(x, 4, [](int a, int b) { return a * b; });
+  EXPECT_EQ(x.load(), 60);
+}
+
+TEST(Ops, FetchAndOpReturnsPrevious) {
+  std::atomic<int> x{7};
+  const int prev = fetch_and_op<int>(x, 3, [](int a, int b) { return a - b; });
+  EXPECT_EQ(prev, 7);
+  EXPECT_EQ(x.load(), 4);
+}
+
+TEST(Ops, CompareAndSwapSemantics) {
+  // The paper's exact §2.3 signature: result out-parameter.
+  std::atomic<std::uint64_t> x{5};
+  bool result = false;
+  compare_and_swap<std::uint64_t>(x, 5, 9, &result);
+  EXPECT_TRUE(result);
+  EXPECT_EQ(x.load(), 9u);
+  compare_and_swap<std::uint64_t>(x, 5, 11, &result);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(x.load(), 9u);
+}
+
+TEST(Ops, FetchMinOnlyLowers) {
+  std::atomic<std::uint32_t> d{100};
+  EXPECT_TRUE(fetch_min<std::uint32_t>(d, 50));
+  EXPECT_FALSE(fetch_min<std::uint32_t>(d, 70));
+  EXPECT_FALSE(fetch_min<std::uint32_t>(d, 50));
+  EXPECT_EQ(d.load(), 50u);
+}
+
+TEST(Ops, ConcurrentFetchMinFindsGlobalMinimum) {
+  std::atomic<std::uint64_t> d{1u << 30};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) {
+        fetch_min<std::uint64_t>(
+            d, static_cast<std::uint64_t>(1000 + (i * 7 + t) % 9000));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(d.load(), 1000u);
+}
+
+TEST(Ops, FetchAddDoubleLosesNothing) {
+  std::atomic<double> rank{0.0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) fetch_add_double(rank, 0.5);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_DOUBLE_EQ(rank.load(), 8 * 10000 * 0.5);
+}
+
+TEST(Ops, ConcurrentAccumulateLosesNothing) {
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        accumulate<std::uint64_t>(sum, 1, [](auto a, auto b) { return a + b; });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(sum.load(), 160000u);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  std::uint64_t counter = 0;  // protected by `lock`
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(counter, 200000u);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace aam::atomics

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "graph/analogs.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"
+
+namespace aam::graph {
+namespace {
+
+// ------------------------------------------------------------------ CSR
+
+TEST(Csr, BuildsDirected) {
+  const EdgeList edges = {{0, 1}, {0, 2}, {1, 2}, {3, 0}};
+  const Graph g = Graph::from_edges(4, edges, /*undirected=*/false);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 1u);
+  auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<Vertex>(n0.begin(), n0.end()),
+            (std::vector<Vertex>{1, 2}));
+}
+
+TEST(Csr, UndirectedMirrorsEdges) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Csr, DropsSelfLoopsAndDuplicates) {
+  const Graph g =
+      Graph::from_edges(3, {{0, 0}, {0, 1}, {0, 1}, {1, 2}}, false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Csr, WeightedEdges) {
+  const Graph g = Graph::from_weighted_edges(3, {{0, 1}, {1, 2}},
+                                             {2.5f, 7.0f}, true);
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weights(0)[0], 2.5f);
+  // Mirrored edge carries the same weight.
+  auto n1 = g.neighbors(1);
+  auto w1 = g.weights(1);
+  ASSERT_EQ(n1.size(), 2u);
+  for (std::size_t i = 0; i < n1.size(); ++i) {
+    if (n1[i] == 0) EXPECT_FLOAT_EQ(w1[i], 2.5f);
+    if (n1[i] == 2) EXPECT_FLOAT_EQ(w1[i], 7.0f);
+  }
+}
+
+TEST(Csr, AvgDegree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 6.0 / 4.0);
+}
+
+// ----------------------------------------------------------- Generators
+
+TEST(Generators, KroneckerSizeAndDeterminism) {
+  KroneckerParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  util::Rng rng1(3), rng2(3);
+  const Graph a = kronecker(p, rng1);
+  const Graph b = kronecker(p, rng2);
+  EXPECT_EQ(a.num_vertices(), 1u << 10);
+  EXPECT_GT(a.num_edges(), 0u);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  // Power-law-ish skew: max degree far above the mean.
+  const DegreeStats s = degree_stats(a);
+  EXPECT_GT(s.max, 4 * s.mean);
+}
+
+TEST(Generators, ErdosRenyiDegreeConcentrates) {
+  util::Rng rng(5);
+  const Vertex n = 2000;
+  const double p = 0.01;
+  const Graph g = erdos_renyi(n, p, rng);
+  const DegreeStats s = degree_stats(g);
+  const double expected = p * (n - 1);
+  EXPECT_NEAR(s.mean, expected, expected * 0.15);
+  // Binomial distribution: no power-law tail.
+  EXPECT_LT(s.max, 4 * expected);
+}
+
+TEST(Generators, PreferentialAttachmentHeavyTail) {
+  util::Rng rng(7);
+  const Graph g = preferential_attachment(5000, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max, 10 * s.mean);
+  EXPECT_NEAR(s.mean, 4.0, 1.0);  // 2 edges per vertex, both directions
+}
+
+TEST(Generators, RoadLatticeHighDiameterLowDegree) {
+  util::Rng rng(9);
+  const Graph g = road_lattice(50, 50, 0.0, rng);
+  EXPECT_EQ(g.num_vertices(), 2500u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_LE(s.max, 4u);
+  // Diameter of a 50x50 grid is 98.
+  EXPECT_GE(diameter_lower_bound(g, 0), 90u);
+}
+
+TEST(Generators, SmallWorldConnectsAll) {
+  util::Rng rng(11);
+  const Graph g = small_world(1000, 3, 0.1, rng);
+  EXPECT_EQ(reachable_count(g, 0), 1000u);
+}
+
+TEST(Generators, RandomWeightsInRange) {
+  util::Rng rng(13);
+  const auto w = random_weights(1000, 1.0f, 5.0f, rng);
+  for (float x : w) {
+    EXPECT_GE(x, 1.0f);
+    EXPECT_LT(x, 5.0f);
+  }
+}
+
+// ------------------------------------------------------------ Partition
+
+TEST(Partition, BlocksCoverAllVerticesOnce) {
+  const Block1D part(100, 7);
+  std::uint64_t covered = 0;
+  for (int node = 0; node < 7; ++node) {
+    covered += part.count(node);
+    for (Vertex v = part.begin(node); v < part.end(node); ++v) {
+      EXPECT_EQ(part.owner(v), node);
+    }
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(Partition, LocalIndex) {
+  const Block1D part(100, 4);
+  EXPECT_EQ(part.local_index(part.begin(2)), 0u);
+  EXPECT_EQ(part.local_index(part.begin(2) + 5), 5u);
+}
+
+TEST(Partition, MoreNodesThanVertices) {
+  const Block1D part(3, 8);
+  std::uint64_t covered = 0;
+  for (int node = 0; node < 8; ++node) covered += part.count(node);
+  EXPECT_EQ(covered, 3u);
+}
+
+// ------------------------------------------------------------------ IO
+
+TEST(Io, RoundTrip) {
+  util::Rng rng(15);
+  const Graph g = erdos_renyi(200, 0.05, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aam_io_test.el").string();
+  save_edge_list(g, path);
+  LoadOptions opt;
+  opt.undirected = false;  // the saved file already contains both directions
+  opt.zero_based = true;
+  const Graph h = load_edge_list(path, opt);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(Io, SkipsCommentsAndCompacts) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aam_io_test2.el").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# comment\n10 20\n20 30\n", f);
+    std::fclose(f);
+  }
+  const Graph g = load_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3u);  // ids compacted to 0..2
+  EXPECT_EQ(g.num_edges(), 4u);     // undirected
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- Stats
+
+TEST(Stats, BfsLevels) {
+  // Path graph 0-1-2-3.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 2u);
+  EXPECT_EQ(levels[3], 3u);
+  EXPECT_EQ(diameter_lower_bound(g, 1), 3u);
+}
+
+TEST(Stats, UnreachableVertices) {
+  const Graph g = Graph::from_edges(4, {{0, 1}}, true);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[2], kInvalidLevel);
+  EXPECT_EQ(reachable_count(g, 0), 2u);
+}
+
+TEST(Stats, PickNonisolatedVertex) {
+  const Graph g = Graph::from_edges(10, {{7, 8}}, true);
+  const Vertex v = pick_nonisolated_vertex(g);
+  EXPECT_TRUE(v == 7 || v == 8);
+}
+
+// -------------------------------------------------------------- Analogs
+
+TEST(Analogs, CatalogHasAllSixteenGraphs) {
+  EXPECT_EQ(table1_catalog().size(), 16u);
+  EXPECT_EQ(analog_by_id("cWT").name, "wiki-Talk");
+  EXPECT_EQ(analog_by_id("rCA").family, AnalogFamily::kRoad);
+  EXPECT_EQ(analog_by_id("wSF").family, AnalogFamily::kWeb);
+}
+
+TEST(Analogs, SynthesizedSizeTracksDivisor) {
+  util::Rng rng(17);
+  const auto& a = analog_by_id("sYT");  // 1.1M vertices
+  const Graph g = synthesize(a, 64, rng);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              static_cast<double>(a.vertices) / 64.0,
+              static_cast<double>(a.vertices) / 64.0 * 0.2);
+}
+
+TEST(Analogs, RoadAnalogHasRoadStructure) {
+  util::Rng rng(19);
+  const Graph g = synthesize(analog_by_id("rPA"), 64, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_LT(s.max, 16u);
+  EXPECT_GT(diameter_lower_bound(g, pick_nonisolated_vertex(g)), 30u);
+}
+
+TEST(Analogs, SocialAnalogIsSkewed) {
+  util::Rng rng(21);
+  const Graph g = synthesize(analog_by_id("sYT"), 64, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max, 8 * s.mean);
+}
+
+TEST(Analogs, PaperSpeedupsArePopulated) {
+  for (const auto& a : table1_catalog()) {
+    EXPECT_GT(a.paper_bgq_s_m24, 0.0) << a.id;
+    EXPECT_GT(a.paper_bgq_opt_m, 0) << a.id;
+    EXPECT_GT(a.paper_has_s_hama, 1.0) << a.id;
+  }
+}
+
+}  // namespace
+}  // namespace aam::graph

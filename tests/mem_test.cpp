@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "mem/footprint.hpp"
+#include "mem/sim_heap.hpp"
+
+namespace aam::mem {
+namespace {
+
+// -------------------------------------------------------------- SimHeap
+
+TEST(SimHeap, AllocatesAlignedAndContained) {
+  SimHeap heap(1 << 16);
+  auto a = heap.alloc<std::uint64_t>(10);
+  auto b = heap.alloc<double>(5);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(heap.contains(a.data()));
+  EXPECT_TRUE(heap.contains(&b[4]));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 8, 0u);
+  int local = 0;
+  EXPECT_FALSE(heap.contains(&local));
+}
+
+TEST(SimHeap, ZeroInitializes) {
+  SimHeap heap(1 << 12);
+  auto a = heap.alloc<std::uint32_t>(100);
+  for (auto v : a) EXPECT_EQ(v, 0u);
+}
+
+TEST(SimHeap, LineOfMapsSixtyFourByteBlocks) {
+  SimHeap heap(1 << 12);
+  auto a = heap.alloc<std::uint8_t>(256);
+  const LineId l0 = heap.line_of(&a[0]);
+  EXPECT_EQ(heap.line_of(&a[63]) - l0, 0u);
+  EXPECT_EQ(heap.line_of(&a[64]) - l0, 1u);
+  EXPECT_EQ(heap.line_of(&a[255]) - l0, 3u);
+}
+
+TEST(SimHeap, BaseIsLineAligned) {
+  SimHeap heap(1 << 12);
+  auto a = heap.alloc<std::uint8_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a[0]) % kLineBytes, 0u);
+}
+
+TEST(SimHeap, ResetReclaims) {
+  SimHeap heap(1 << 10);
+  heap.alloc<std::uint64_t>(100);
+  const std::size_t used = heap.used_bytes();
+  EXPECT_GE(used, 800u);
+  heap.reset();
+  EXPECT_EQ(heap.used_bytes(), 0u);
+  heap.alloc<std::uint64_t>(100);  // fits again
+}
+
+TEST(SimHeapDeathTest, AbortsWhenExhausted) {
+  SimHeap heap(1 << 10);
+  EXPECT_DEATH(heap.alloc<std::uint64_t>(1 << 20), "out of capacity");
+}
+
+// ---------------------------------------------------------- StripeTable
+
+TEST(StripeTable, OwnersAndAvailability) {
+  StripeTable table(16);
+  table.set_available_at(7, 90.0);
+  EXPECT_DOUBLE_EQ(table.available_at(7), 90.0);
+  EXPECT_EQ(table.owner(5), StripeTable::kNoOwner);
+  table.set_owner(5, 2);
+  EXPECT_EQ(table.owner(5), 2u);
+  table.reset();
+  EXPECT_DOUBLE_EQ(table.available_at(7), 0.0);
+  EXPECT_EQ(table.owner(5), StripeTable::kNoOwner);
+}
+
+// ------------------------------------------------------------- EpochSet
+
+TEST(EpochSet, InsertAndDuplicate) {
+  EpochSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(6));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(EpochSet, ClearIsConstantTimeAndComplete) {
+  EpochSet s;
+  for (std::uint64_t i = 0; i < 100; ++i) s.insert(i);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(s.contains(i));
+  EXPECT_TRUE(s.insert(3));
+}
+
+TEST(EpochSet, GrowsBeyondInitialCapacity) {
+  EpochSet s(4);
+  for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(s.insert(i * 7 + 1));
+  EXPECT_EQ(s.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(s.contains(i * 7 + 1));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(EpochSet, SurvivesManyEpochs) {
+  EpochSet s;
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    EXPECT_TRUE(s.insert(static_cast<std::uint64_t>(epoch)));
+    EXPECT_EQ(s.size(), 1u);
+    s.clear();
+  }
+}
+
+// -------------------------------------------------------------- WordMap
+
+TEST(WordMap, LookupInsertAssign) {
+  WordMap m;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(m.lookup(0x1000, v));
+  m.insert_or_assign(0x1000, 7);
+  EXPECT_TRUE(m.lookup(0x1000, v));
+  EXPECT_EQ(v, 7u);
+  m.insert_or_assign(0x1000, 9);
+  EXPECT_TRUE(m.lookup(0x1000, v));
+  EXPECT_EQ(v, 9u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(WordMap, IteratesInsertionOrder) {
+  WordMap m;
+  m.insert_or_assign(0x30, 3);
+  m.insert_or_assign(0x10, 1);
+  m.insert_or_assign(0x20, 2);
+  m.insert_or_assign(0x10, 11);  // reassign must not duplicate
+  std::vector<std::pair<std::uintptr_t, std::uint64_t>> seen;
+  m.for_each([&](std::uintptr_t k, std::uint64_t val) {
+    seen.emplace_back(k, val);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uintptr_t, std::uint64_t>{0x30, 3}));
+  EXPECT_EQ(seen[1], (std::pair<std::uintptr_t, std::uint64_t>{0x10, 11}));
+  EXPECT_EQ(seen[2], (std::pair<std::uintptr_t, std::uint64_t>{0x20, 2}));
+}
+
+TEST(WordMap, GrowsAndClears) {
+  WordMap m(4);
+  for (std::uintptr_t i = 0; i < 5000; ++i) m.insert_or_assign(i * 8, i);
+  EXPECT_EQ(m.size(), 5000u);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(m.lookup(4096 * 8, v));
+  EXPECT_EQ(v, 4096u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.lookup(8, v));
+}
+
+// ----------------------------------------------------- FootprintTracker
+
+model::CacheGeometry small_geom() {
+  model::CacheGeometry g;
+  g.sets = 4;
+  g.ways = 2;  // capacity: 8 lines total, 2 per set
+  return g;
+}
+
+constexpr std::uint64_t line_off(std::uint64_t line) { return line * 64; }
+
+TEST(FootprintTracker, TracksDistinctLines) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  EXPECT_EQ(t.add_write(line_off(1)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(1)), FootprintTracker::Add::kDuplicate);
+  EXPECT_EQ(t.add_read(line_off(2)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_read(line_off(2)), FootprintTracker::Add::kDuplicate);
+  // A line already written is not re-tracked as a read.
+  EXPECT_EQ(t.add_read(line_off(1)), FootprintTracker::Add::kDuplicate);
+  EXPECT_EQ(t.distinct_write_lines(), 1u);
+  EXPECT_EQ(t.distinct_read_lines(), 1u);
+}
+
+TEST(FootprintTracker, AssociativityOverflow) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  // Lines 0, 4, 8 all map to set 0 with 4 sets; 2 ways -> third overflows.
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(4)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(8)), FootprintTracker::Add::kOverflow);
+}
+
+TEST(FootprintTracker, SequentialLinesFillAllSets) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  for (LineId l = 0; l < 8; ++l) {
+    EXPECT_EQ(t.add_write(line_off(l)), FootprintTracker::Add::kOk) << l;
+  }
+  EXPECT_EQ(t.add_write(line_off(8)), FootprintTracker::Add::kOverflow);
+}
+
+TEST(FootprintTracker, ReadCapacityIsTotalOnly) {
+  FootprintTracker t;
+  t.configure(small_geom(), 5);
+  // Reads have no associativity constraint: 5 lines in the same set are OK.
+  for (LineId l = 0; l < 5; ++l) {
+    EXPECT_EQ(t.add_read(line_off(l * 4)), FootprintTracker::Add::kOk);
+  }
+  EXPECT_EQ(t.add_read(line_off(20)), FootprintTracker::Add::kOverflow);
+}
+
+TEST(FootprintTracker, ResetRestoresCapacity) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(4)), FootprintTracker::Add::kOk);
+  t.reset();
+  EXPECT_EQ(t.distinct_write_lines(), 0u);
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(4)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(8)), FootprintTracker::Add::kOverflow);
+}
+
+TEST(FootprintTracker, FineConflictUnitsWithinOneLine) {
+  // BG/Q-style 8-byte conflict units: two words in one line are distinct
+  // conflict units but a single capacity line.
+  FootprintTracker t;
+  t.configure(small_geom(), 100, /*conflict_shift=*/3);
+  EXPECT_EQ(t.add_write(0), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(8), FootprintTracker::Add::kDuplicate);  // same line
+  EXPECT_EQ(t.write_units().size(), 2u);
+  EXPECT_EQ(t.distinct_write_lines(), 1u);
+}
+
+TEST(FootprintTracker, CoarseUnitsMatchLines) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100, /*conflict_shift=*/6);
+  EXPECT_EQ(t.add_write(0), FootprintTracker::Add::kOk);
+  t.add_write(8);   // same 64B line and same unit
+  EXPECT_EQ(t.write_units().size(), 1u);
+  EXPECT_EQ(t.distinct_write_lines(), 1u);
+}
+
+}  // namespace
+}  // namespace aam::mem

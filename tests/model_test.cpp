@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "model/machines.hpp"
+#include "model/perf_model.hpp"
+
+namespace aam::model {
+namespace {
+
+TEST(Machines, LookupByName) {
+  EXPECT_EQ(machine_by_name("BGQ").name, "BGQ");
+  EXPECT_EQ(machine_by_name("Has-C").name, "Has-C");
+  EXPECT_EQ(machine_by_name("Has-P").name, "Has-P");
+  EXPECT_EQ(machine_by_name("hasp").name, "Has-P");
+}
+
+TEST(Machines, ThreadCounts) {
+  EXPECT_EQ(bgq().max_threads(), 64);      // 16 cores x 4 SMT (§5.1)
+  EXPECT_EQ(has_c().max_threads(), 8);     // 4 cores x 2 SMT
+  EXPECT_EQ(has_p().max_threads(), 24);    // 12 cores x 2 SMT
+}
+
+TEST(Machines, SupportedHtmKinds) {
+  EXPECT_EQ(has_c().supported_htm.size(), 2u);
+  EXPECT_EQ(bgq().supported_htm.size(), 2u);
+  // Haswell machines support RTM/HLE, BGQ supports short/long modes.
+  (void)has_c().htm(HtmKind::kRtm);
+  (void)has_c().htm(HtmKind::kHle);
+  (void)bgq().htm(HtmKind::kBgqShort);
+  (void)bgq().htm(HtmKind::kBgqLong);
+}
+
+TEST(Machines, HaswellRtmSingleVertexRatio) {
+  // [H1] single-vertex RTM activity costs 1.5-3x a CAS (§5.4.1).
+  const auto& m = has_c();
+  const auto& rtm = m.htm(HtmKind::kRtm);
+  const double htm_one = rtm.begin_ns + rtm.commit_ns + rtm.read_ns +
+                         rtm.write_ns + m.atomics.load_ns +
+                         m.atomics.store_ns;
+  const double cas_one = m.atomics.load_ns + m.atomics.cas_ns;
+  const double ratio = htm_one / cas_one;
+  EXPECT_GE(ratio, 1.5);
+  EXPECT_LE(ratio, 3.0);
+}
+
+TEST(Machines, RtmFasterThanHle) {
+  // [H1] RTM is 5-15% faster than HLE for single-vertex activities.
+  const auto& m = has_c();
+  const auto& rtm = m.htm(HtmKind::kRtm);
+  const auto& hle = m.htm(HtmKind::kHle);
+  EXPECT_LT(rtm.begin_ns + rtm.commit_ns, hle.begin_ns + hle.commit_ns);
+}
+
+TEST(Machines, BgqShortVsLongModeShape) {
+  // [B2] short mode: cheaper begin/commit, pricier per access.
+  const auto& shrt = bgq().htm(HtmKind::kBgqShort);
+  const auto& lng = bgq().htm(HtmKind::kBgqLong);
+  EXPECT_LT(shrt.begin_ns + shrt.commit_ns, lng.begin_ns + lng.commit_ns);
+  EXPECT_GT(shrt.read_ns, lng.read_ns);
+  EXPECT_GT(shrt.write_ns, lng.write_ns);
+}
+
+TEST(Machines, HlePolicyBits) {
+  EXPECT_TRUE(has_c().htm(HtmKind::kHle).serialize_after_first_abort);
+  EXPECT_FALSE(has_c().htm(HtmKind::kRtm).serialize_after_first_abort);
+  EXPECT_TRUE(bgq().htm(HtmKind::kBgqShort).hardware_retry);
+  EXPECT_EQ(bgq().htm(HtmKind::kBgqShort).max_retries, 10);  // [B3]
+}
+
+TEST(Machines, CapacityGeometries) {
+  // [H3] Has-C: 32KB 8-way L1 = 64 sets; Has-P: twice the sets.
+  EXPECT_EQ(has_c().htm(HtmKind::kRtm).write_capacity.sets, 64u);
+  EXPECT_EQ(has_c().htm(HtmKind::kRtm).write_capacity.ways, 8u);
+  EXPECT_EQ(has_p().htm(HtmKind::kRtm).write_capacity.sets, 128u);
+  // [B4] BGQ budgets are far larger and 16-way.
+  EXPECT_EQ(bgq().htm(HtmKind::kBgqLong).write_capacity.ways, 16u);
+  EXPECT_GT(bgq().htm(HtmKind::kBgqLong).write_capacity.capacity_lines(),
+            has_c().htm(HtmKind::kRtm).write_capacity.capacity_lines());
+}
+
+TEST(PerfModel, HtmInterceptAboveAtomicSlopeBelow) {
+  // The §5.3 prediction: B_HTM > B_AT and A_HTM < A_AT.
+  for (const MachineConfig* m : {&has_c(), &bgq()}) {
+    for (HtmKind kind : m->supported_htm) {
+      const ActivityModel htm = htm_activity_model(*m, kind);
+      const ActivityModel at = atomic_activity_model(*m, /*use_cas=*/true);
+      EXPECT_GT(htm.intercept, at.intercept) << m->name;
+      EXPECT_LT(htm.slope, at.slope) << m->name;
+    }
+  }
+}
+
+TEST(PerfModel, CrossoverExistsAndIsSmall) {
+  // Coarsening must amortize within tens of vertices, else the paper's
+  // optimum M values (2..144) would be impossible.
+  const double x_has = predicted_crossover(has_c(), HtmKind::kRtm);
+  EXPECT_GT(x_has, 0.0);
+  EXPECT_LT(x_has, 32.0);
+  const double x_bgq = predicted_crossover(bgq(), HtmKind::kBgqShort);
+  EXPECT_GT(x_bgq, 0.0);
+  EXPECT_LT(x_bgq, 64.0);
+}
+
+TEST(PerfModel, ValidateRecoversPlantedModel) {
+  const auto& m = has_c();
+  const ActivityModel htm = htm_activity_model(m, HtmKind::kRtm);
+  const ActivityModel at = atomic_activity_model(m, true);
+  std::vector<double> sizes, at_times, htm_times;
+  for (int n = 1; n <= 64; n *= 2) {
+    sizes.push_back(n);
+    at_times.push_back(at.eval(n));
+    htm_times.push_back(htm.eval(n));
+  }
+  const ModelValidation v = validate_model(m, HtmKind::kRtm, sizes, at_times,
+                                           htm_times, true);
+  EXPECT_NEAR(v.atomic_fit.slope, at.slope, 1e-9);
+  EXPECT_NEAR(v.htm_fit.intercept, htm.intercept, 1e-9);
+  EXPECT_NEAR(v.measured_crossover, v.predicted_crossover, 1e-6);
+  EXPECT_GT(v.atomic_fit.r2, 0.999);
+  EXPECT_GT(v.htm_fit.r2, 0.999);
+}
+
+TEST(PerfModel, FootprintScalesSlope) {
+  OperatorFootprint heavy;
+  heavy.reads_per_vertex = 3;
+  heavy.writes_per_vertex = 2;
+  const ActivityModel light = htm_activity_model(has_c(), HtmKind::kRtm);
+  const ActivityModel big = htm_activity_model(has_c(), HtmKind::kRtm, heavy);
+  EXPECT_GT(big.slope, light.slope);
+  EXPECT_DOUBLE_EQ(big.intercept, light.intercept);
+}
+
+}  // namespace
+}  // namespace aam::model

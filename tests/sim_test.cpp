@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace aam::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30.0, 0, 0);
+  q.push(10.0, 1, 0);
+  q.push(20.0, 2, 0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 10.0);
+  EXPECT_EQ(q.pop().thread, 1u);
+  EXPECT_EQ(q.pop().thread, 2u);
+  EXPECT_EQ(q.pop().thread, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 100; ++i) q.push(5.0, i, 0);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.thread, i);
+    EXPECT_EQ(e.seq, i);
+  }
+}
+
+TEST(EventQueue, CarriesKindAndPayload) {
+  EventQueue q;
+  q.push(1.0, 3, 7, 0xdeadbeef);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, 7u);
+  EXPECT_EQ(e.payload, 0xdeadbeefu);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(10.0, 0, 0);
+  q.push(5.0, 1, 0);
+  EXPECT_EQ(q.pop().thread, 1u);
+  q.push(7.0, 2, 0);
+  q.push(20.0, 3, 0);
+  EXPECT_EQ(q.pop().thread, 2u);
+  EXPECT_EQ(q.pop().thread, 0u);
+  EXPECT_EQ(q.pop().thread, 3u);
+}
+
+TEST(Backoff, WindowsDoubleAndCap) {
+  Backoff b(100.0, 800.0);
+  EXPECT_DOUBLE_EQ(b.window(0), 100.0);
+  EXPECT_DOUBLE_EQ(b.window(1), 200.0);
+  EXPECT_DOUBLE_EQ(b.window(2), 400.0);
+  EXPECT_DOUBLE_EQ(b.window(3), 800.0);
+  EXPECT_DOUBLE_EQ(b.window(10), 800.0);
+}
+
+TEST(Backoff, WaitWithinWindowAndNonZero) {
+  Backoff b(100.0, 800.0);
+  for (double u : {0.0, 0.25, 0.5, 0.9999}) {
+    const Time w = b.wait(2, u);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 400.0);
+  }
+}
+
+}  // namespace
+}  // namespace aam::sim

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace aam::util {
+namespace {
+
+// ----------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.next_below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleApproximatelyUniform) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng root(5);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root(5);
+  Rng a = root.fork(9);
+  Rng b = root.fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(21);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    lo |= (v == 3);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+// --------------------------------------------------------------- Stats
+
+TEST(OnlineStats, MeanVarianceExtrema) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  OnlineStats all, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 32; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i + 42.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 42.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHighR2) {
+  Rng rng(17);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 10.0 + (rng.next_double() - 0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Crossover, HtmBeatsAtomicsBeyondN) {
+  // The §5.3 shape: HTM has higher intercept, lower slope.
+  LinearFit htm{/*slope=*/6.0, /*intercept=*/45.0, 1.0};
+  LinearFit atomics{/*slope=*/22.0, /*intercept=*/0.0, 1.0};
+  const double x = crossover(htm, atomics);
+  EXPECT_NEAR(x, 45.0 / 16.0, 1e-9);
+  // Beyond the crossover HTM is cheaper.
+  EXPECT_LT(htm.eval(x + 1), atomics.eval(x + 1));
+  EXPECT_GT(htm.eval(x - 1), atomics.eval(x - 1));
+}
+
+TEST(Crossover, NeverWins) {
+  LinearFit a{10.0, 50.0, 1.0};
+  LinearFit b{5.0, 0.0, 1.0};
+  EXPECT_LT(crossover(a, b), 0.0);
+}
+
+TEST(Crossover, AlwaysWins) {
+  LinearFit a{1.0, 0.0, 1.0};
+  LinearFit b{5.0, 10.0, 1.0};
+  EXPECT_DOUBLE_EQ(crossover(a, b), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 13u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+}
+
+// ----------------------------------------------------------------- Cli
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7.5", "--flag",
+                        "--name=x,y"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 7.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_string("name", ""), "x,y");
+  EXPECT_EQ(cli.get_int("missing", 99), 99);
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--sizes=1,2,16"};
+  Cli cli(2, const_cast<char**>(argv));
+  const auto v = cli.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 16);
+  const auto d = cli.get_int_list("other", {5});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 5);
+}
+
+// --------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(3.14159, 2);
+  t.row().cell("beta").cell(std::uint64_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("beta,42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.row().cell("x,y\"z");
+  EXPECT_NE(t.to_csv().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(Format, TimeUnits) {
+  EXPECT_EQ(format_time_ns(12.0), "12.0 ns");
+  EXPECT_EQ(format_time_ns(1500.0), "1.50 us");
+  EXPECT_EQ(format_time_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(format_time_ns(3.2e9), "3.200 s");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace aam::util
