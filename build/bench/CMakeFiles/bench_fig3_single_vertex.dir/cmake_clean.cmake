@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_single_vertex.dir/bench_fig3_single_vertex.cpp.o"
+  "CMakeFiles/bench_fig3_single_vertex.dir/bench_fig3_single_vertex.cpp.o.d"
+  "bench_fig3_single_vertex"
+  "bench_fig3_single_vertex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_single_vertex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

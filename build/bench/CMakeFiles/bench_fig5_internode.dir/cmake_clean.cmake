@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_internode.dir/bench_fig5_internode.cpp.o"
+  "CMakeFiles/bench_fig5_internode.dir/bench_fig5_internode.cpp.o.d"
+  "bench_fig5_internode"
+  "bench_fig5_internode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_internode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5ab_abort_reasons.dir/bench_fig5ab_abort_reasons.cpp.o"
+  "CMakeFiles/bench_fig5ab_abort_reasons.dir/bench_fig5ab_abort_reasons.cpp.o.d"
+  "bench_fig5ab_abort_reasons"
+  "bench_fig5ab_abort_reasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5ab_abort_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5i_ownership.dir/bench_fig5i_ownership.cpp.o"
+  "CMakeFiles/bench_fig5i_ownership.dir/bench_fig5i_ownership.cpp.o.d"
+  "bench_fig5i_ownership"
+  "bench_fig5i_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5i_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_distributed_pr.dir/bench_fig7_distributed_pr.cpp.o"
+  "CMakeFiles/bench_fig7_distributed_pr.dir/bench_fig7_distributed_pr.cpp.o.d"
+  "bench_fig7_distributed_pr"
+  "bench_fig7_distributed_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_distributed_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_realworld.dir/bench_table1_realworld.cpp.o"
+  "CMakeFiles/bench_table1_realworld.dir/bench_table1_realworld.cpp.o.d"
+  "bench_table1_realworld"
+  "bench_table1_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

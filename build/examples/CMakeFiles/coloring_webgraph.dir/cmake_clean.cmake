@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring_webgraph.dir/coloring_webgraph.cpp.o"
+  "CMakeFiles/coloring_webgraph.dir/coloring_webgraph.cpp.o.d"
+  "coloring_webgraph"
+  "coloring_webgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_webgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_pagerank.dir/distributed_pagerank.cpp.o"
+  "CMakeFiles/distributed_pagerank.dir/distributed_pagerank.cpp.o.d"
+  "distributed_pagerank"
+  "distributed_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/roadnet_mst.cpp" "examples/CMakeFiles/roadnet_mst.dir/roadnet_mst.cpp.o" "gcc" "examples/CMakeFiles/roadnet_mst.dir/roadnet_mst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/aam_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aam_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aam_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/aam_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aam_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

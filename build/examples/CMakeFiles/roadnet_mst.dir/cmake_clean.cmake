@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_mst.dir/roadnet_mst.cpp.o"
+  "CMakeFiles/roadnet_mst.dir/roadnet_mst.cpp.o.d"
+  "roadnet_mst"
+  "roadnet_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

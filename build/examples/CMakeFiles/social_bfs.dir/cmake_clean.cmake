@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_bfs.dir/social_bfs.cpp.o"
+  "CMakeFiles/social_bfs.dir/social_bfs.cpp.o.d"
+  "social_bfs"
+  "social_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bfs.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/bfs.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/bfs.cpp.o.d"
+  "/root/repo/src/algorithms/boruvka.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/boruvka.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/boruvka.cpp.o.d"
+  "/root/repo/src/algorithms/coloring.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/coloring.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/coloring.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/pagerank.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank_dist.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/pagerank_dist.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/pagerank_dist.cpp.o.d"
+  "/root/repo/src/algorithms/sssp.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/sssp.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/sssp.cpp.o.d"
+  "/root/repo/src/algorithms/st_connectivity.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/st_connectivity.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/st_connectivity.cpp.o.d"
+  "/root/repo/src/algorithms/threaded.cpp" "src/algorithms/CMakeFiles/aam_algorithms.dir/threaded.cpp.o" "gcc" "src/algorithms/CMakeFiles/aam_algorithms.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aam_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aam_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/aam_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

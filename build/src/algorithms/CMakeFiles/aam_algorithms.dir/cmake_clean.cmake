@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_algorithms.dir/bfs.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/bfs.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/boruvka.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/boruvka.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/coloring.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/coloring.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/pagerank.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/pagerank.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/pagerank_dist.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/pagerank_dist.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/sssp.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/sssp.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/st_connectivity.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/st_connectivity.cpp.o.d"
+  "CMakeFiles/aam_algorithms.dir/threaded.cpp.o"
+  "CMakeFiles/aam_algorithms.dir/threaded.cpp.o.d"
+  "libaam_algorithms.a"
+  "libaam_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

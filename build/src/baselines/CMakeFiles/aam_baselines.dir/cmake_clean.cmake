@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_baselines.dir/bsp_engine.cpp.o"
+  "CMakeFiles/aam_baselines.dir/bsp_engine.cpp.o.d"
+  "CMakeFiles/aam_baselines.dir/named.cpp.o"
+  "CMakeFiles/aam_baselines.dir/named.cpp.o.d"
+  "libaam_baselines.a"
+  "libaam_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_core.dir/distributed.cpp.o"
+  "CMakeFiles/aam_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/aam_core.dir/ownership.cpp.o"
+  "CMakeFiles/aam_core.dir/ownership.cpp.o.d"
+  "CMakeFiles/aam_core.dir/runtime.cpp.o"
+  "CMakeFiles/aam_core.dir/runtime.cpp.o.d"
+  "libaam_core.a"
+  "libaam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_graph.dir/analogs.cpp.o"
+  "CMakeFiles/aam_graph.dir/analogs.cpp.o.d"
+  "CMakeFiles/aam_graph.dir/csr.cpp.o"
+  "CMakeFiles/aam_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/aam_graph.dir/generators.cpp.o"
+  "CMakeFiles/aam_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/aam_graph.dir/gstats.cpp.o"
+  "CMakeFiles/aam_graph.dir/gstats.cpp.o.d"
+  "CMakeFiles/aam_graph.dir/io.cpp.o"
+  "CMakeFiles/aam_graph.dir/io.cpp.o.d"
+  "CMakeFiles/aam_graph.dir/partition.cpp.o"
+  "CMakeFiles/aam_graph.dir/partition.cpp.o.d"
+  "libaam_graph.a"
+  "libaam_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

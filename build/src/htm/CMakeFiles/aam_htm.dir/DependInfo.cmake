@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/des_engine.cpp" "src/htm/CMakeFiles/aam_htm.dir/des_engine.cpp.o" "gcc" "src/htm/CMakeFiles/aam_htm.dir/des_engine.cpp.o.d"
+  "/root/repo/src/htm/stm_engine.cpp" "src/htm/CMakeFiles/aam_htm.dir/stm_engine.cpp.o" "gcc" "src/htm/CMakeFiles/aam_htm.dir/stm_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aam_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aam_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_htm.dir/des_engine.cpp.o"
+  "CMakeFiles/aam_htm.dir/des_engine.cpp.o.d"
+  "CMakeFiles/aam_htm.dir/stm_engine.cpp.o"
+  "CMakeFiles/aam_htm.dir/stm_engine.cpp.o.d"
+  "libaam_htm.a"
+  "libaam_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_mem.dir/footprint.cpp.o"
+  "CMakeFiles/aam_mem.dir/footprint.cpp.o.d"
+  "CMakeFiles/aam_mem.dir/sim_heap.cpp.o"
+  "CMakeFiles/aam_mem.dir/sim_heap.cpp.o.d"
+  "libaam_mem.a"
+  "libaam_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

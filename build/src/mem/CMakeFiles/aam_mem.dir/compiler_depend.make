@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aam_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_model.dir/machines.cpp.o"
+  "CMakeFiles/aam_model.dir/machines.cpp.o.d"
+  "CMakeFiles/aam_model.dir/perf_model.cpp.o"
+  "CMakeFiles/aam_model.dir/perf_model.cpp.o.d"
+  "libaam_model.a"
+  "libaam_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

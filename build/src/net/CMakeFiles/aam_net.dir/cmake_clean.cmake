@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_net.dir/cluster.cpp.o"
+  "CMakeFiles/aam_net.dir/cluster.cpp.o.d"
+  "libaam_net.a"
+  "libaam_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/aam_sim.dir/event_queue.cpp.o.d"
+  "libaam_sim.a"
+  "libaam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

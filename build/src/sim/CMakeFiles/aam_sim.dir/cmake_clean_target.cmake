@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaam_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aam_util.dir/cli.cpp.o"
+  "CMakeFiles/aam_util.dir/cli.cpp.o.d"
+  "CMakeFiles/aam_util.dir/stats.cpp.o"
+  "CMakeFiles/aam_util.dir/stats.cpp.o.d"
+  "CMakeFiles/aam_util.dir/table.cpp.o"
+  "CMakeFiles/aam_util.dir/table.cpp.o.d"
+  "libaam_util.a"
+  "libaam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphblas_test.dir/graphblas_test.cpp.o"
+  "CMakeFiles/graphblas_test.dir/graphblas_test.cpp.o.d"
+  "graphblas_test"
+  "graphblas_test.pdb"
+  "graphblas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphblas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

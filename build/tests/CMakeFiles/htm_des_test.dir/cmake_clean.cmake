@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_des_test.dir/htm_des_test.cpp.o"
+  "CMakeFiles/htm_des_test.dir/htm_des_test.cpp.o.d"
+  "htm_des_test"
+  "htm_des_test.pdb"
+  "htm_des_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
