@@ -29,8 +29,8 @@ double run_workload(const model::MachineConfig& config, model::HtmKind kind,
   core::AamRuntime rt(machine, {.batch = fixed_m});
   core::AdaptiveBatch controller;
   if (adaptive) rt.set_adaptive(&controller);
-  rt.for_each(items, [&](htm::Txn& tx, std::uint64_t i) {
-    tx.fetch_add(data[(i % span) * 8], std::uint64_t{1});
+  rt.for_each(items, [&](core::Access& access, std::uint64_t i) {
+    access.fetch_add(data[(i % span) * 8], std::uint64_t{1});
   });
   if (final_m != nullptr) *final_m = adaptive ? controller.batch() : fixed_m;
   return machine.makespan();

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
                             heap, seed);
     algorithms::BfsOptions options;
     options.root = root;
-    options.mechanism = algorithms::BfsMechanism::kAamHtm;
+    options.mechanism = core::Mechanism::kHtmCoarsened;
     options.batch = batch;
     aam_result = algorithms::run_bfs(machine, g, options);
   }

@@ -42,8 +42,8 @@ Point run_point(const model::MachineConfig& config, model::HtmKind kind,
   htm::DesMachine machine(config, kind, threads, heap, seed);
   algorithms::BfsOptions options;
   options.root = root;
-  options.mechanism = baseline ? algorithms::BfsMechanism::kAtomicCas
-                               : algorithms::BfsMechanism::kAamHtm;
+  options.mechanism = baseline ? core::Mechanism::kAtomicOps
+                               : core::Mechanism::kHtmCoarsened;
   options.batch = batch;
   const auto result = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, result.parent));

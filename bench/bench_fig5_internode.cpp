@@ -70,13 +70,13 @@ double run_htm_am(const Setup& setup, int num_nodes, int coalesce,
   core::DistributedRuntime rt(cluster,
                               {.coalesce = coalesce, .local_batch = coalesce});
   if (use_acc) {
-    rt.set_operator([&](htm::Txn& tx, std::uint64_t item) {
-      tx.fetch_add(visited[item * 8], std::uint64_t{1});
+    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+      access.fetch_add(visited[item * 8], std::uint64_t{1});
     });
   } else {
-    rt.set_operator([&](htm::Txn& tx, std::uint64_t item) {
-      if (tx.load(visited[item * 8]) == 0) {
-        tx.store(visited[item * 8], std::uint64_t{1});
+    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+      if (access.load(visited[item * 8]) == 0) {
+        access.store(visited[item * 8], std::uint64_t{1});
       }
     });
   }

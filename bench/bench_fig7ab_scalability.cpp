@@ -20,7 +20,7 @@ using namespace aam;
 
 double bfs_time(const model::MachineConfig& config, model::HtmKind kind,
                 int threads, const graph::Graph& g, graph::Vertex root,
-                std::uint64_t seed, algorithms::BfsMechanism mechanism,
+                std::uint64_t seed, core::Mechanism mechanism,
                 int batch) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
@@ -69,11 +69,11 @@ int main(int argc, char** argv) {
     for (int t : {1, 2, 4, 8, 16, 32, 64}) {
       const double aam = bfs_time(model::bgq(), model::HtmKind::kBgqShort, t,
                                   g, root, seed,
-                                  algorithms::BfsMechanism::kAamHtm,
+                                  core::Mechanism::kHtmCoarsened,
                                   aam_batch);
       const double base = bfs_time(model::bgq(), model::HtmKind::kBgqShort, t,
                                    g, root, seed,
-                                   algorithms::BfsMechanism::kAtomicCas, 1);
+                                   core::Mechanism::kAtomicOps, 1);
       table.row().cell(t).cell(util::format_time_ns(aam))
           .cell(util::format_time_ns(base))
           .cell(bench::speedup_str(base / aam));
@@ -89,13 +89,13 @@ int main(int argc, char** argv) {
     for (int t : {1, 2, 4, 8}) {
       const double aam = bfs_time(model::has_c(), model::HtmKind::kRtm, t, g,
                                   root, seed,
-                                  algorithms::BfsMechanism::kAamHtm, 2);
+                                  core::Mechanism::kHtmCoarsened, 2);
       const double base = bfs_time(model::has_c(), model::HtmKind::kRtm, t, g,
                                    root, seed,
-                                   algorithms::BfsMechanism::kAtomicCas, 1);
+                                   core::Mechanism::kAtomicOps, 1);
       const double galois = bfs_time(model::has_c(), model::HtmKind::kRtm, t,
                                      g, root, seed,
-                                     algorithms::BfsMechanism::kFineLocks, 1);
+                                     core::Mechanism::kFineLocks, 1);
       double hama = 0;
       if (run_hama) {
         const std::size_t heap_bytes =

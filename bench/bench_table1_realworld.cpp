@@ -28,7 +28,7 @@ using namespace aam;
 
 double bfs_time(const model::MachineConfig& config, model::HtmKind kind,
                 int threads, const graph::Graph& g, graph::Vertex root,
-                std::uint64_t seed, algorithms::BfsMechanism mechanism,
+                std::uint64_t seed, core::Mechanism mechanism,
                 int batch) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
@@ -78,12 +78,12 @@ int main(int argc, char** argv) {
     const auto& bq = model::bgq();
     const auto kS = model::HtmKind::kBgqShort;
     const double bgq_base = bfs_time(bq, kS, 64, g, root, seed,
-                                     algorithms::BfsMechanism::kAtomicCas, 1);
+                                     core::Mechanism::kAtomicOps, 1);
     const double bgq_m24 = bfs_time(bq, kS, 64, g, root, seed,
-                                    algorithms::BfsMechanism::kAamHtm, 24);
+                                    core::Mechanism::kHtmCoarsened, 24);
     const double bgq_opt =
         bfs_time(bq, kS, 64, g, root, seed,
-                 algorithms::BfsMechanism::kAamHtm, analog.paper_bgq_opt_m);
+                 core::Mechanism::kHtmCoarsened, analog.paper_bgq_opt_m);
     bgq_table.row().cell(analog.id).cell(graph::to_string(analog.family))
         .cell(util::format_count(g.num_vertices()))
         .cell(g.avg_degree(), 1)
@@ -97,14 +97,14 @@ int main(int argc, char** argv) {
     const auto& hc = model::has_c();
     const auto kR = model::HtmKind::kRtm;
     const double has_base = bfs_time(hc, kR, 8, g, root, seed,
-                                     algorithms::BfsMechanism::kAtomicCas, 1);
+                                     core::Mechanism::kAtomicOps, 1);
     const double has_m2 = bfs_time(hc, kR, 8, g, root, seed,
-                                   algorithms::BfsMechanism::kAamHtm, 2);
+                                   core::Mechanism::kHtmCoarsened, 2);
     const double has_opt =
         bfs_time(hc, kR, 8, g, root, seed,
-                 algorithms::BfsMechanism::kAamHtm, analog.paper_has_opt_m);
+                 core::Mechanism::kHtmCoarsened, analog.paper_has_opt_m);
     const double galois = bfs_time(hc, kR, 8, g, root, seed,
-                                   algorithms::BfsMechanism::kFineLocks, 1);
+                                   core::Mechanism::kFineLocks, 1);
     double hama = 0;
     if (run_hama) {
       const std::size_t heap_bytes =

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   const graph::Vertex root = graph::pick_nonisolated_vertex(g);
   algorithms::BfsOptions options;
   options.root = root;
-  options.mechanism = algorithms::BfsMechanism::kAamHtm;
+  options.mechanism = core::Mechanism::kHtmCoarsened;
   options.batch = batch;
   const algorithms::BfsResult aam = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, aam.parent));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "algorithms/operators.hpp"
 #include "core/worklist.hpp"
 #include "graph/gstats.hpp"
 #include "util/check.hpp"
@@ -23,9 +24,9 @@ struct BfsState {
   const graph::Graph* graph = nullptr;
   BfsOptions options;
 
-  // On the SimHeap: the transactional / atomic vertex state.
+  // On the SimHeap: the vertex state touched through the executor.
   std::span<Vertex> parent;   ///< kInvalidVertex = unvisited
-  std::span<std::uint32_t> locks;  ///< kFineLocks only
+  core::ActivityExecutor* executor = nullptr;
 
   // Host-side frontier management (runtime metadata, not simulated data).
   std::vector<Vertex> frontier;
@@ -107,26 +108,13 @@ class BfsWorker : public htm::Worker {
     state_.edges_scanned += edges;
   }
 
-  void visit_pending(htm::ThreadCtx& ctx, std::size_t count) {
-    switch (state_.options.mechanism) {
-      case BfsMechanism::kAamHtm:
-        visit_htm(ctx, count);
-        break;
-      case BfsMechanism::kAtomicCas:
-        visit_cas(ctx, count);
-        break;
-      case BfsMechanism::kFineLocks:
-        visit_locks(ctx, count);
-        break;
-    }
-  }
-
-  // One coarse transaction visits `count` candidates (Listing 8). FF&MF:
+  // One coarse activity visits `count` candidates (Listing 4/8). FF & MF:
   // a candidate whose vertex got visited meanwhile is silently dropped —
   // that is an algorithm-level May-Fail, not a hardware abort. The §4.2
   // runtime optimization re-checks visited with a plain load right before
-  // the transaction, so stale duplicates never enter the read set.
-  void visit_htm(htm::ThreadCtx& ctx, std::size_t count) {
+  // handing the batch to the executor, so stale duplicates never enter a
+  // transactional read set.
+  void visit_pending(htm::ThreadCtx& ctx, std::size_t count) {
     batch_.clear();
     for (std::size_t i = 0; i < count; ++i) {
       const Candidate c = pending_.back();
@@ -135,72 +123,29 @@ class BfsWorker : public htm::Worker {
       batch_.push_back(c);
     }
     if (batch_.empty()) return;
-    ctx.stage_transaction(
-        [this](htm::Txn& tx) {
-          claimed_.clear();  // body may re-execute: rebuild from scratch
-          for (const Candidate& c : batch_) {
-            if (tx.load(state_.parent[c.vertex]) == kInvalidVertex) {
-              tx.store(state_.parent[c.vertex], c.parent);
-              claimed_.push_back(c.vertex);
-            }
+    state_.executor->execute(
+        ctx, batch_.size(),
+        [this](core::Access& access, std::uint64_t i) {
+          const Candidate& c = batch_[i];
+          if (ops::bfs_visit(access, state_.parent, c.vertex, c.parent)) {
+            access.emit(c.vertex);
           }
         },
-        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
-          next_frontier_.insert(next_frontier_.end(), claimed_.begin(),
-                                claimed_.end());
-          claimed_.clear();
+        [this](htm::ThreadCtx&, std::span<const std::uint64_t> claimed) {
+          for (std::uint64_t v : claimed) {
+            next_frontier_.push_back(static_cast<Vertex>(v));
+          }
         });
-  }
-
-  // Graph500 reference: re-check visited right before the CAS (the
-  // baseline's "reduce fine-grained synchronization" optimization, §6.1),
-  // then one CAS per still-unvisited candidate.
-  void visit_cas(htm::ThreadCtx& ctx, std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i) {
-      const Candidate c = pending_.back();
-      pending_.pop_back();
-      if (ctx.load(state_.parent[c.vertex]) != kInvalidVertex) continue;
-      if (ctx.cas(state_.parent[c.vertex], kInvalidVertex, c.parent)) {
-        next_frontier_.push_back(c.vertex);
-      }
-    }
-  }
-
-  // Galois-like fine locking: spinlock per vertex around the update.
-  void visit_locks(htm::ThreadCtx& ctx, std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i) {
-      const Candidate c = pending_.back();
-      pending_.pop_back();
-      if (ctx.load(state_.parent[c.vertex]) != kInvalidVertex) continue;
-      // Acquire (retrying CAS models the spin).
-      while (!ctx.cas(state_.locks[c.vertex], 0u, 1u)) {
-      }
-      if (ctx.load(state_.parent[c.vertex]) == kInvalidVertex) {
-        ctx.store(state_.parent[c.vertex], c.parent);
-        next_frontier_.push_back(c.vertex);
-      }
-      ctx.store(state_.locks[c.vertex], 0u);  // release
-    }
   }
 
   BfsState& state_;
   std::vector<Candidate> pending_;
   std::vector<Candidate> batch_;
-  std::vector<Vertex> claimed_;
   std::vector<Vertex> next_frontier_;
   bool done_scanning_ = false;
 };
 
 }  // namespace
-
-const char* to_string(BfsMechanism mechanism) {
-  switch (mechanism) {
-    case BfsMechanism::kAamHtm: return "AAM-HTM";
-    case BfsMechanism::kAtomicCas: return "Atomic-CAS";
-    case BfsMechanism::kFineLocks: return "Fine-Locks";
-  }
-  return "?";
-}
 
 BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
                   const BfsOptions& options) {
@@ -212,9 +157,9 @@ BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
   state.graph = &graph;
   state.options = options;
   state.parent = machine.heap().alloc<Vertex>(n);
-  if (options.mechanism == BfsMechanism::kFineLocks) {
-    state.locks = machine.heap().alloc<std::uint32_t>(n);
-  }
+  auto executor = core::make_executor(options.mechanism, machine,
+                                      {.batch = options.batch});
+  state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;
 

@@ -7,36 +7,25 @@
 // the visited state of each neighbor (the Graph500 optimization the paper
 // highlights: "reduces the amount of fine-grained synchronization by
 // checking if the vertex was visited before executing an atomic"), and then
-// *visit* the unvisited candidates. Visiting is where the mechanisms
-// diverge:
-//
-//   kAamHtm    — candidates are buffered and visited M at a time inside a
-//                single hardware transaction (the coarsened activity of
-//                §4.2 / Listing 8). This is AAM-BGQ / AAM-Haswell.
-//   kAtomicCas — one CAS per candidate; the Graph500 reference baseline.
-//   kFineLocks — per-vertex spinlock around the update; the Galois-like
-//                fine-locking baseline of §6.1.2.
+// *visit* the unvisited candidates through a core::ActivityExecutor. The
+// selected core::Mechanism decides how a batch of visits synchronizes:
+// one coarse HTM transaction (AAM, §4.2 Listing 8), one CAS per candidate
+// (the Graph500 baseline), per-vertex fine locks (Galois-like), the global
+// serial lock, or software TM.
 
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
 namespace aam::algorithms {
 
-enum class BfsMechanism {
-  kAamHtm,
-  kAtomicCas,
-  kFineLocks,
-};
-
-const char* to_string(BfsMechanism mechanism);
-
 struct BfsOptions {
   graph::Vertex root = 0;
-  BfsMechanism mechanism = BfsMechanism::kAamHtm;
-  int batch = 16;        ///< M: vertices visited per transaction (AAM only)
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  int batch = 16;        ///< M: vertices visited per coarse activity
   int scan_chunk = 512;  ///< frontier *edges* claimed per work unit
   double barrier_cost_ns = 400.0;  ///< per-level synchronization cost
 };

@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 
+#include "algorithms/operators.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 
@@ -29,6 +30,7 @@ struct BoruvkaState {
   const graph::Graph* graph = nullptr;
   BoruvkaOptions options;
   std::span<Vertex> parent;  ///< union-find forest on the SimHeap
+  core::ActivityExecutor* executor = nullptr;
   std::vector<MergeEdge> merges;  ///< this round's candidate merges
   core::ChunkCursor* scan_cursor = nullptr;
   core::ChunkCursor* merge_cursor = nullptr;
@@ -108,47 +110,30 @@ class BoruvkaWorker : public htm::Worker {
     }
     batch_.assign(state_.merges.begin() + static_cast<std::ptrdiff_t>(begin),
                   state_.merges.begin() + static_cast<std::ptrdiff_t>(end));
-    ctx.stage_transaction(
-        [this](htm::Txn& tx) {
-          applied_.clear();
-          failed_ = 0;
-          for (const MergeEdge& m : batch_) {
-            const Vertex ru = tx_root(tx, m.u);
-            const Vertex rv = tx_root(tx, m.v);
-            if (ru == rv) {
-              ++failed_;  // lost the race: components already merged
-              continue;
-            }
-            // Deterministic link orientation: larger root under smaller.
-            tx.store(state_.parent[std::max(ru, rv)], std::min(ru, rv));
-            applied_.push_back(m);
+    // A merge that won emits its 1-based batch index; anything missing
+    // from the results lost the race (MF) and is reported as failed.
+    state_.executor->execute(
+        ctx, batch_.size(),
+        [this](core::Access& access, std::uint64_t i) {
+          const MergeEdge& m = batch_[i];
+          if (ops::uf_union(access, state_.parent, m.u, m.v)) {
+            access.emit(i + 1);
           }
         },
-        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
-          state_.failed_merges += failed_;
-          for (const MergeEdge& m : applied_) {
+        [this](htm::ThreadCtx&, std::span<const std::uint64_t> applied) {
+          state_.failed_merges += batch_.size() - applied.size();
+          for (std::uint64_t r : applied) {
+            const MergeEdge& m = batch_[r - 1];
             state_.total_weight += m.weight;
             ++state_.edges_in_forest;
           }
-          applied_.clear();
         });
     return true;
-  }
-
-  Vertex tx_root(htm::Txn& tx, Vertex v) const {
-    Vertex r = v;
-    while (true) {
-      const Vertex p = tx.load(state_.parent[r]);
-      if (p == r) return r;
-      r = p;
-    }
   }
 
   BoruvkaState& state_;
   std::vector<std::pair<Vertex, MergeEdge>> min_edges_;
   std::vector<MergeEdge> batch_;
-  std::vector<MergeEdge> applied_;
-  std::uint64_t failed_ = 0;
 };
 
 }  // namespace
@@ -164,6 +149,9 @@ BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
   state.options = options;
   state.parent = machine.heap().alloc<Vertex>(n);
   for (Vertex v = 0; v < n; ++v) state.parent[v] = v;
+  auto executor = core::make_executor(options.mechanism, machine,
+                                      {.batch = options.batch});
+  state.executor = executor.get();
   core::ChunkCursor scan_cursor(machine.heap());
   core::ChunkCursor merge_cursor(machine.heap());
   state.scan_cursor = &scan_cursor;

@@ -15,13 +15,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
 namespace aam::algorithms {
 
 struct BoruvkaOptions {
-  int batch = 4;  ///< merges attempted per transaction
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  int batch = 4;  ///< merges attempted per coarse activity
   double barrier_cost_ns = 600.0;
   int max_rounds = 64;
 };

@@ -17,6 +17,7 @@ struct ColorState {
   const graph::Graph* graph = nullptr;
   ColoringOptions options;
   std::span<std::uint32_t> color;  // 0 = uncolored
+  core::ActivityExecutor* executor = nullptr;
   std::vector<Vertex> worklist;
   core::ChunkCursor* cursor = nullptr;
   std::uint64_t recolor_requests = 0;
@@ -89,35 +90,33 @@ class ColorWorker : public htm::Worker {
     for (std::size_t i = 0; i < batch_.size(); ++i) {
       coins_.push_back(rng_.next_bool(0.5));
     }
-    ctx.stage_transaction(
-        [this](htm::Txn& tx) {
-          recolor_.clear();
-          for (std::size_t i = 0; i < batch_.size(); ++i) {
-            const Tentative t = batch_[i];
-            tx.store(state_.color[t.vertex], t.color);
-            // Listing 7: any neighbors already holding this color? Every
-            // clashing *pair* must surrender one endpoint, or a conflict
-            // could survive the round undetected.
-            bool recolor_self = false;
-            for (Vertex w : state_.graph->neighbors(t.vertex)) {
-              if (w != t.vertex && tx.load(state_.color[w]) == t.color) {
-                if (coins_[i]) {
-                  recolor_.push_back(w);
-                } else {
-                  recolor_self = true;
-                }
+    state_.executor->execute(
+        ctx, batch_.size(),
+        [this](core::Access& access, std::uint64_t i) {
+          const Tentative t = batch_[i];
+          access.store(state_.color[t.vertex], t.color);
+          // Listing 7: any neighbors already holding this color? Every
+          // clashing *pair* must surrender one endpoint, or a conflict
+          // could survive the round undetected.
+          bool recolor_self = false;
+          for (Vertex w : state_.graph->neighbors(t.vertex)) {
+            if (w != t.vertex && access.load(state_.color[w]) == t.color) {
+              if (coins_[i]) {
+                access.emit(w);
+              } else {
+                recolor_self = true;
               }
             }
-            if (recolor_self) recolor_.push_back(t.vertex);
           }
+          if (recolor_self) access.emit(t.vertex);
         },
-        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+        [this](htm::ThreadCtx&, std::span<const std::uint64_t> recolor) {
           // Failure handler: schedule the conflicting vertices for the
           // next round.
-          state_.recolor_requests += recolor_.size();
-          next_worklist_.insert(next_worklist_.end(), recolor_.begin(),
-                                recolor_.end());
-          recolor_.clear();
+          state_.recolor_requests += recolor.size();
+          for (std::uint64_t v : recolor) {
+            next_worklist_.push_back(static_cast<Vertex>(v));
+          }
         });
   }
 
@@ -127,7 +126,6 @@ class ColorWorker : public htm::Worker {
   std::vector<Tentative> batch_;
   std::vector<std::uint32_t> used_;
   std::vector<bool> coins_;
-  std::vector<Vertex> recolor_;
   std::vector<Vertex> next_worklist_;
   bool done_scanning_ = false;
 };
@@ -144,6 +142,9 @@ ColoringResult run_boman_coloring(htm::DesMachine& machine,
   state.graph = &graph;
   state.options = options;
   state.color = machine.heap().alloc<std::uint32_t>(n);
+  auto executor = core::make_executor(options.mechanism, machine,
+                                      {.batch = options.batch});
+  state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;
   state.worklist.resize(n);

@@ -13,13 +13,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
 namespace aam::algorithms {
 
 struct ColoringOptions {
-  int batch = 8;  ///< M: operators per transaction
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  int batch = 8;  ///< M: operators per coarse activity
   int scan_chunk = 32;
   std::uint64_t seed = 1;
   double barrier_cost_ns = 400.0;

@@ -60,6 +60,7 @@ struct VxmOptions {
   /// otherwise every stored entry is multiplicative identity-like `one`.
   bool use_weights = false;
   double one = 1.0;  ///< matrix value for unweighted graphs
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
 };
 
 /// out ⊕= in ⊗ A, with A the graph's adjacency structure. `out` must live
@@ -76,8 +77,9 @@ void vxm(htm::DesMachine& machine, const graph::Graph& graph,
   AAM_CHECK(out.size() == graph.num_vertices());
   AAM_CHECK(!options.use_weights || graph.has_weights());
 
-  core::AamRuntime runtime(machine, {.batch = options.batch});
-  runtime.for_each(graph.num_vertices(), [&](htm::Txn& tx,
+  core::AamRuntime runtime(
+      machine, {.batch = options.batch, .mechanism = options.mechanism});
+  runtime.for_each(graph.num_vertices(), [&](core::Access& access,
                                              std::uint64_t item) {
     const auto v = static_cast<graph::Vertex>(item);
     const Scalar xv = in[v];
@@ -91,7 +93,7 @@ void vxm(htm::DesMachine& machine, const graph::Graph& graph,
                            : static_cast<Scalar>(options.one);
       const Scalar contribution = Semiring::mul(xv, a);
       const graph::Vertex w = nbrs[e];
-      tx.store(out[w], Semiring::add(tx.load(out[w]), contribution));
+      access.store(out[w], Semiring::add(access.load(out[w]), contribution));
     }
   });
 }
@@ -104,8 +106,8 @@ void ewise_add(htm::DesMachine& machine,
                std::span<typename Semiring::Scalar> out, int batch = 64) {
   AAM_CHECK(in.size() == out.size());
   core::AamRuntime runtime(machine, {.batch = batch});
-  runtime.for_each(out.size(), [&](htm::Txn& tx, std::uint64_t i) {
-    tx.store(out[i], Semiring::add(tx.load(out[i]), in[i]));
+  runtime.for_each(out.size(), [&](core::Access& access, std::uint64_t i) {
+    access.store(out[i], Semiring::add(access.load(out[i]), in[i]));
   });
 }
 

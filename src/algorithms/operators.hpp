@@ -1,0 +1,85 @@
+#pragma once
+
+// Mechanism-neutral operator formulations (§3.3).
+//
+// Each function is one single-element operator body from the paper's
+// listings, written against core::Access so the same code runs under every
+// ActivityExecutor — coarse HTM transactions, per-item atomics, fine locks,
+// the global serial lock, and the software TM (both in the simulator and
+// on real threads via StmAccess, see algorithms/threaded.cpp).
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/executor.hpp"
+#include "graph/csr.hpp"
+
+namespace aam::algorithms::ops {
+
+/// BFS visit (Listing 4): claim w for parent u. Returns true when this
+/// activity won the vertex. FF & MF: losing the race is an algorithm-level
+/// May-Fail, not a hardware abort.
+inline bool bfs_visit(core::Access& a, std::span<graph::Vertex> parent,
+                      graph::Vertex w, graph::Vertex u) {
+  return a.cas(parent[w], graph::kInvalidVertex, u);
+}
+
+/// PageRank push (Listing 3), FF & AS: vertex v adds its base rank and
+/// pushes a damped share of its stale rank onto each neighbor.
+inline void pagerank_push(core::Access& a, const graph::Graph& g,
+                          std::span<const double> old_rank,
+                          std::span<double> new_rank, graph::Vertex v,
+                          double base, double damping) {
+  a.fetch_add(new_rank[v], base);
+  const auto nbrs = g.neighbors(v);
+  if (nbrs.empty()) return;
+  const double share =
+      damping * a.load(old_rank[v]) / static_cast<double>(nbrs.size());
+  for (graph::Vertex w : nbrs) a.fetch_add(new_rank[w], share);
+}
+
+/// SSSP relaxation (the BFS operator with a distance payload, §5.4.1).
+/// Returns true when the distance improved. The retry loop only matters
+/// for non-transactional executors; under a transaction the first CAS
+/// succeeds or the candidate is stale.
+inline bool sssp_relax(core::Access& a, std::span<double> distance,
+                       graph::Vertex v, double candidate) {
+  for (;;) {
+    const double current = a.load(distance[v]);
+    if (current <= candidate) return false;
+    if (a.cas(distance[v], current, candidate)) return true;
+  }
+}
+
+/// Union-find root walk with mechanism-modelled per-hop loads (no path
+/// compression: keeps the chains identical to what a transactional variant
+/// re-reads).
+inline graph::Vertex uf_root(core::Access& a, std::span<graph::Vertex> parent,
+                             graph::Vertex v) {
+  graph::Vertex r = v;
+  for (;;) {
+    const graph::Vertex p = a.load(parent[r]);
+    if (p == r) return r;
+    r = p;
+  }
+}
+
+/// Boruvka merge (Listing 5 shape), FR & MF: link the components of u and
+/// v with a deterministic orientation (larger root under smaller). Returns
+/// false when the components were already united by a concurrent activity.
+inline bool uf_union(core::Access& a, std::span<graph::Vertex> parent,
+                     graph::Vertex u, graph::Vertex v) {
+  for (;;) {
+    const graph::Vertex ru = uf_root(a, parent, u);
+    const graph::Vertex rv = uf_root(a, parent, v);
+    if (ru == rv) return false;
+    const graph::Vertex hi = std::max(ru, rv);
+    const graph::Vertex lo = std::min(ru, rv);
+    // A failed CAS means another activity moved this root meanwhile:
+    // re-walk from the new roots (non-transactional executors only).
+    if (a.cas(parent[hi], hi, lo)) return true;
+  }
+}
+
+}  // namespace aam::algorithms::ops

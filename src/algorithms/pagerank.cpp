@@ -1,5 +1,6 @@
 #include "algorithms/pagerank.hpp"
 
+#include "algorithms/operators.hpp"
 #include "core/runtime.hpp"
 #include "util/check.hpp"
 
@@ -18,7 +19,8 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
   for (Vertex v = 0; v < n; ++v) old_rank[v] = init;
 
   machine.reset_clocks(0.0, /*clear_stats=*/true);
-  core::AamRuntime runtime(machine, {.batch = options.batch});
+  core::AamRuntime runtime(
+      machine, {.batch = options.batch, .mechanism = options.mechanism});
 
   const double d = options.damping;
   const double base = (1.0 - d) / static_cast<double>(n);
@@ -26,17 +28,11 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
   for (int iter = 0; iter < options.iterations; ++iter) {
     for (Vertex v = 0; v < n; ++v) new_rank[v] = 0.0;
     // The Listing 3 operator, executed for every vertex in coarse
-    // transactions of M (FF & AS).
-    runtime.for_each(n, [&](htm::Txn& tx, std::uint64_t item) {
-      const auto v = static_cast<Vertex>(item);
-      tx.fetch_add(new_rank[v], base);
-      const auto nbrs = graph.neighbors(v);
-      if (nbrs.empty()) return;
-      // Stale rank from the previous iteration (read-only this iteration,
-      // but still part of the transactional read set on real HTM).
-      const double share =
-          d * tx.load(old_rank[v]) / static_cast<double>(nbrs.size());
-      for (Vertex w : nbrs) tx.fetch_add(new_rank[w], share);
+    // activities of M (FF & AS). Under kAtomicOps the pushes are
+    // fetch-and-accumulates — the paper's ACC formulation.
+    runtime.for_each(n, [&](core::Access& access, std::uint64_t item) {
+      ops::pagerank_push(access, graph, old_rank, new_rank,
+                         static_cast<Vertex>(item), base, d);
     });
     std::swap(old_rank, new_rank);
   }

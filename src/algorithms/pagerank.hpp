@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
@@ -21,7 +22,8 @@ namespace aam::algorithms {
 struct PageRankOptions {
   int iterations = 10;
   double damping = 0.85;
-  int batch = 16;  ///< M: vertex operators per transaction
+  int batch = 16;  ///< M: vertex operators per coarse activity
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
 };
 
 struct PageRankResult {

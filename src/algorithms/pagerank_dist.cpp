@@ -112,6 +112,7 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
   rt_options.coalesce =
       pbgl ? std::min(options.coalesce, 4) : options.coalesce;
   rt_options.local_batch = options.local_batch;
+  rt_options.mechanism = options.mechanism;
   core::DistributedRuntime rt(cluster, rt_options);
 
   if (pbgl) {
@@ -122,9 +123,9 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
         },
         options.pbgl_item_overhead_ns);
   } else {
-    rt.set_operator([&](htm::Txn& tx, std::uint64_t item) {
-      tx.fetch_add(new_rank[unpack_vertex(item)],
-                   static_cast<double>(unpack_contribution(item)));
+    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+      access.fetch_add(new_rank[unpack_vertex(item)],
+                       static_cast<double>(unpack_contribution(item)));
     });
     // Receiver-side sharding by rank cache line (8 doubles per line):
     // same-node transactions become conflict-free (§4.2 optimization).

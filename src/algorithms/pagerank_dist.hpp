@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
 #include "net/cluster.hpp"
@@ -42,6 +43,8 @@ struct DistPrOptions {
   DistPrMode mode = DistPrMode::kAam;
   int coalesce = 16;       ///< C (AAM); the PBGL stand-in uses min(C, 4)
   int local_batch = 16;    ///< M for locally-executed batches
+  /// Synchronization mechanism for the AAM mode's receiver-side batches.
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
   double pbgl_item_overhead_ns = 300.0;  ///< generic AM framework cost/item
   double barrier_cost_ns = 3000.0;       ///< per-iteration global barrier
 };

@@ -4,6 +4,7 @@
 #include <memory>
 #include <queue>
 
+#include "algorithms/operators.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 
@@ -24,6 +25,7 @@ struct SsspState {
   const graph::Graph* graph = nullptr;
   SsspOptions options;
   std::span<double> distance;
+  core::ActivityExecutor* executor = nullptr;
   std::vector<Vertex> frontier;
   core::ChunkCursor* cursor = nullptr;
   std::uint64_t relaxations = 0;
@@ -83,28 +85,25 @@ class SsspWorker : public htm::Worker {
     batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
                   pending_.end());
     pending_.resize(pending_.size() - count);
-    ctx.stage_transaction(
-        [this](htm::Txn& tx) {
-          improved_.clear();
-          for (const Relax& r : batch_) {
-            if (tx.load(state_.distance[r.vertex]) > r.distance) {
-              tx.store(state_.distance[r.vertex], r.distance);
-              improved_.push_back(r.vertex);
-            }
+    state_.executor->execute(
+        ctx, batch_.size(),
+        [this](core::Access& access, std::uint64_t i) {
+          const Relax& r = batch_[i];
+          if (ops::sssp_relax(access, state_.distance, r.vertex, r.distance)) {
+            access.emit(r.vertex);
           }
         },
-        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
-          state_.relaxations += improved_.size();
-          next_frontier_.insert(next_frontier_.end(), improved_.begin(),
-                                improved_.end());
-          improved_.clear();
+        [this](htm::ThreadCtx&, std::span<const std::uint64_t> improved) {
+          state_.relaxations += improved.size();
+          for (std::uint64_t v : improved) {
+            next_frontier_.push_back(static_cast<Vertex>(v));
+          }
         });
   }
 
   SsspState& state_;
   std::vector<Relax> pending_;
   std::vector<Relax> batch_;
-  std::vector<Vertex> improved_;
   std::vector<Vertex> next_frontier_;
   bool done_scanning_ = false;
 };
@@ -124,6 +123,9 @@ SsspResult run_sssp(htm::DesMachine& machine, const graph::Graph& graph,
   for (Vertex v = 0; v < n; ++v) state.distance[v] = kInf;
   state.distance[options.source] = 0.0;
   state.frontier = {options.source};
+  auto executor = core::make_executor(options.mechanism, machine,
+                                      {.batch = options.batch});
+  state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
@@ -15,7 +16,8 @@ namespace aam::algorithms {
 
 struct SsspOptions {
   graph::Vertex source = 0;
-  int batch = 16;  ///< M: relaxations per transaction
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  int batch = 16;  ///< M: relaxations per coarse activity
   int scan_chunk = 64;
   double barrier_cost_ns = 400.0;
 };

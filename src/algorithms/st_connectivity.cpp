@@ -25,6 +25,7 @@ struct StState {
   const graph::Graph* graph = nullptr;
   StConnOptions options;
   std::span<std::uint32_t> color;
+  core::ActivityExecutor* executor = nullptr;
   std::vector<Candidate> frontier;  // both waves interleaved
   core::ChunkCursor* cursor = nullptr;
   bool connected = false;  // set by failure handlers; stops the traversal
@@ -73,44 +74,55 @@ class StWorker : public htm::Worker {
   }
 
  private:
-  // The Listing 6 operator, batched: returns true (into `hit_`) when the
-  // two waves meet. FR & AS: the result always reaches the spawner.
+  // FR results are packed into the executor's 64-bit emissions: a claimed
+  // vertex carries its wave color in the upper half; the distinguished
+  // kHitMark value reports "the other wave owns it" (bit 63 is never set
+  // by a claim because colors are tiny).
+  static constexpr std::uint64_t kHitMark = std::uint64_t{1} << 63;
+  static std::uint64_t pack(const Candidate& c) {
+    return (static_cast<std::uint64_t>(c.color) << 32) | c.vertex;
+  }
+
+  // The Listing 6 operator, batched: emits kHitMark when the two waves
+  // meet. FR & AS: the result always reaches the spawner.
   void visit(htm::ThreadCtx& ctx, std::size_t count) {
     batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
                   pending_.end());
     pending_.resize(pending_.size() - count);
-    ctx.stage_transaction(
-        [this](htm::Txn& tx) {
-          hit_ = false;
-          claimed_.clear();
-          for (const Candidate& c : batch_) {
-            const std::uint32_t cur = tx.load(state_.color[c.vertex]);
-            if (cur != kWhite && cur != c.color) {
-              hit_ = true;  // the other wave owns it: s and t connect
-              continue;
-            }
-            if (cur == c.color) continue;
-            tx.store(state_.color[c.vertex], c.color);
-            claimed_.push_back(c);
+    state_.executor->execute(
+        ctx, batch_.size(),
+        [this](core::Access& access, std::uint64_t i) {
+          const Candidate& c = batch_[i];
+          const std::uint32_t cur = access.load(state_.color[c.vertex]);
+          if (cur != kWhite && cur != c.color) {
+            access.emit(kHitMark);  // the other wave owns it: s-t connect
+            return;
+          }
+          if (cur == c.color) return;
+          if (access.cas(state_.color[c.vertex], kWhite, c.color)) {
+            access.emit(pack(c));
           }
         },
-        [this](htm::ThreadCtx&, const htm::TxnOutcome&) {
+        [this](htm::ThreadCtx&, std::span<const std::uint64_t> results) {
           // Spawner-side failure handler (§3.3.4): terminate on contact.
-          if (hit_) state_.connected = true;
-          state_.colored += claimed_.size();
-          next_frontier_.insert(next_frontier_.end(), claimed_.begin(),
-                                claimed_.end());
-          claimed_.clear();
+          for (std::uint64_t r : results) {
+            if (r == kHitMark) {
+              state_.connected = true;
+              continue;
+            }
+            ++state_.colored;
+            next_frontier_.push_back(
+                {static_cast<Vertex>(r & 0xffffffffu),
+                 static_cast<std::uint32_t>(r >> 32)});
+          }
         });
   }
 
   StState& state_;
   std::vector<Candidate> pending_;
   std::vector<Candidate> batch_;
-  std::vector<Candidate> claimed_;
   std::vector<Candidate> next_frontier_;
   bool done_scanning_ = false;
-  bool hit_ = false;
 };
 
 }  // namespace
@@ -126,6 +138,9 @@ StConnResult run_st_connectivity(htm::DesMachine& machine,
   state.graph = &graph;
   state.options = options;
   state.color = machine.heap().alloc<std::uint32_t>(n);
+  auto executor = core::make_executor(options.mechanism, machine,
+                                      {.batch = options.batch});
+  state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;
 

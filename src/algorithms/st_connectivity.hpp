@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/executor.hpp"
 #include "graph/csr.hpp"
 #include "htm/des_engine.hpp"
 
@@ -18,7 +19,8 @@ namespace aam::algorithms {
 struct StConnOptions {
   graph::Vertex s = 0;
   graph::Vertex t = 1;
-  int batch = 16;       ///< M: operators per transaction
+  core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  int batch = 16;       ///< M: operators per coarse activity
   int scan_chunk = 64;
   double barrier_cost_ns = 400.0;
 };

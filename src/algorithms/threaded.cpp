@@ -3,8 +3,11 @@
 #include <atomic>
 #include <barrier>
 #include <chrono>
+#include <span>
 #include <thread>
 
+#include "algorithms/operators.hpp"
+#include "core/executor.hpp"
 #include "htm/stm_engine.hpp"
 #include "util/check.hpp"
 
@@ -47,24 +50,21 @@ ThreadedBfsResult threaded_bfs(const graph::Graph& graph, graph::Vertex root,
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       std::vector<std::pair<Vertex, Vertex>> pending;
-      std::vector<std::uint8_t> claimed;
+      std::vector<std::uint64_t> claimed;
+      const std::span<Vertex> parent(result.parent);
       auto flush = [&] {
         if (pending.empty()) return;
         engine.atomically([&](htm::StmTxn& tx) {
-          // The body may re-execute on aborts: rebuild `claimed` each try.
-          claimed.assign(pending.size(), 0);
-          for (std::size_t i = 0; i < pending.size(); ++i) {
-            const auto [w, u] = pending[i];
-            if (tx.load(result.parent[w]) == kInvalidVertex) {
-              tx.store(result.parent[w], u);
-              claimed[i] = 1;
-            }
+          // The body may re-execute on aborts: restage `claimed` each try.
+          claimed.clear();
+          core::StmAccess access(tx, &claimed);
+          for (const auto& [w, u] : pending) {
+            // The shared Listing 4 operator (algorithms/operators.hpp).
+            if (ops::bfs_visit(access, parent, w, u)) access.emit(w);
           }
         });
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-          if (claimed[i]) {
-            next[static_cast<std::size_t>(t)].push_back(pending[i].first);
-          }
+        for (std::uint64_t w : claimed) {
+          next[static_cast<std::size_t>(t)].push_back(static_cast<Vertex>(w));
         }
         pending.clear();
       };
@@ -129,15 +129,15 @@ ThreadedPrResult threaded_pagerank(const graph::Graph& graph, int iterations,
               static_cast<Vertex>(batch), std::memory_order_relaxed);
           if (begin >= n) break;
           const Vertex end = std::min<Vertex>(begin + static_cast<Vertex>(batch), n);
-          // One STM transaction runs `batch` vertex operators (Listing 3).
+          // One STM transaction runs `batch` instances of the shared
+          // Listing 3 operator (algorithms/operators.hpp).
           engine.atomically([&](htm::StmTxn& tx) {
+            core::StmAccess access(tx);
+            const std::span<const double> old_span(old_rank);
+            const std::span<double> new_span(new_rank);
             for (Vertex v = begin; v < end; ++v) {
-              tx.fetch_add(new_rank[v], base);
-              const auto nbrs = graph.neighbors(v);
-              if (nbrs.empty()) continue;
-              const double share =
-                  damping * old_rank[v] / static_cast<double>(nbrs.size());
-              for (Vertex w : nbrs) tx.fetch_add(new_rank[w], share);
+              ops::pagerank_push(access, graph, old_span, new_span, v, base,
+                                 damping);
             }
           });
         }

@@ -17,28 +17,43 @@
 //
 // The HAMA-like comparator lives in bsp_engine.hpp.
 
+#include <string_view>
+
 #include "algorithms/bfs.hpp"
+#include "core/executor.hpp"
+#include "util/check.hpp"
 
 namespace aam::baselines {
 
-/// Graph500 reference BFS (atomic CAS + pre-check).
+/// BFS under a mechanism picked by canonical name from the shared
+/// registry (core::parse_mechanism): "htm", "atomics", "fine-locks",
+/// "serial-lock", "stm". The named baselines below delegate here.
+inline algorithms::BfsResult mechanism_bfs(htm::DesMachine& machine,
+                                           const graph::Graph& graph,
+                                           graph::Vertex root,
+                                           std::string_view mechanism_name,
+                                           int batch = 1) {
+  const auto mechanism = core::parse_mechanism(mechanism_name);
+  AAM_CHECK_MSG(mechanism.has_value(), "unknown mechanism name");
+  algorithms::BfsOptions options;
+  options.root = root;
+  options.mechanism = *mechanism;
+  options.batch = batch;
+  return algorithms::run_bfs(machine, graph, options);
+}
+
+/// Graph500 reference BFS (atomic CAS + pre-check, one vertex per op).
 inline algorithms::BfsResult graph500_bfs(htm::DesMachine& machine,
                                           const graph::Graph& graph,
                                           graph::Vertex root) {
-  algorithms::BfsOptions options;
-  options.root = root;
-  options.mechanism = algorithms::BfsMechanism::kAtomicCas;
-  return algorithms::run_bfs(machine, graph, options);
+  return mechanism_bfs(machine, graph, root, "atomics");
 }
 
 /// Galois-like BFS (fine per-vertex locks).
 inline algorithms::BfsResult galois_bfs(htm::DesMachine& machine,
                                         const graph::Graph& graph,
                                         graph::Vertex root) {
-  algorithms::BfsOptions options;
-  options.root = root;
-  options.mechanism = algorithms::BfsMechanism::kFineLocks;
-  return algorithms::run_bfs(machine, graph, options);
+  return mechanism_bfs(machine, graph, root, "fine-locks");
 }
 
 struct SnapBfsResult {

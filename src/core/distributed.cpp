@@ -5,7 +5,10 @@
 namespace aam::core {
 
 DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
-    : cluster_(cluster), options_(options) {
+    : cluster_(cluster),
+      options_(options),
+      executor_(make_executor(options.mechanism, cluster.machine(),
+                              {.batch = options.local_batch})) {
   AAM_CHECK(options_.coalesce >= 1 && options_.local_batch >= 1);
 
   // Incoming operator batches: queue them for transactional execution by
@@ -32,7 +35,6 @@ DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
     coalescers_.emplace_back(cluster_, op_handler_, options_.coalesce);
   }
   local_buffers_.resize(static_cast<std::size_t>(threads));
-  fr_results_.resize(static_cast<std::size_t>(threads));
   pending_.resize(static_cast<std::size_t>(cluster_.num_nodes()));
   pending_sharded_.resize(static_cast<std::size_t>(threads));
 }
@@ -145,7 +147,6 @@ bool DistributedRuntime::progress(htm::ThreadCtx& ctx) {
 
 void DistributedRuntime::stage_batch(htm::ThreadCtx& ctx, Batch batch) {
   AAM_CHECK_MSG(op_ff_ || op_fr_ || op_plain_, "no operator registered");
-  const std::uint32_t tid = ctx.thread_id();
   const std::size_t n = batch.items.size();
   items_executed_ += n;
   ++batches_executed_;
@@ -161,38 +162,36 @@ void DistributedRuntime::stage_batch(htm::ThreadCtx& ctx, Batch batch) {
   }
 
   if (op_ff_) {
-    // One coarse transaction per batch (coalesced activity, §5.6).
-    ctx.stage_transaction(
-        [this, items = std::move(batch.items)](htm::Txn& tx) {
-          for (std::uint64_t item : items) op_ff_(tx, item);
-        });
+    // One coarse activity per batch (coalesced, §5.6), applied under the
+    // configured mechanism.
+    executor_->execute(ctx, n,
+                       [this, items = std::move(batch.items)](
+                           Access& access, std::uint64_t i) {
+                         op_ff_(access, items[i]);
+                       });
     return;
   }
 
-  // FR: collect per-item results in a thread staging area. The body may
-  // re-execute on aborts, so it resets the staging area first.
+  // FR: non-zero per-item results are emitted through the executor (which
+  // keeps them re-execution-safe) and flow back to the spawner.
   const int reply_node = batch.reply_node;
-  ctx.stage_transaction(
-      [this, tid, items = std::move(batch.items)](htm::Txn& tx) {
-        auto& results = fr_results_[tid];
-        results.clear();
-        for (std::uint64_t item : items) {
-          const std::uint64_t r = op_fr_(tx, item);
-          if (r != 0) results.push_back(r);
-        }
+  executor_->execute(
+      ctx, n,
+      [this, items = std::move(batch.items)](Access& access, std::uint64_t i) {
+        const std::uint64_t r = op_fr_(access, items[i]);
+        if (r != 0) access.emit(r);
       },
-      [this, tid, reply_node](htm::ThreadCtx& done_ctx, const htm::TxnOutcome&) {
-        auto& results = fr_results_[tid];
+      [this, reply_node](htm::ThreadCtx& done_ctx,
+                         std::span<const std::uint64_t> results) {
         if (results.empty()) return;
-        const int my_node = cluster_.node_of_thread(tid);
+        const int my_node = cluster_.node_of_thread(done_ctx.thread_id());
         if (reply_node == my_node) {
           for (std::uint64_t r : results) on_result_(done_ctx, r);
         } else {
           cluster_.send(done_ctx, reply_node, reply_handler_, 0, 0,
-                        std::move(results));
-          results = {};
+                        std::vector<std::uint64_t>(results.begin(),
+                                                   results.end()));
         }
-        results.clear();
       });
 }
 

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "core/taxonomy.hpp"
 #include "net/cluster.hpp"
 
@@ -27,7 +29,10 @@ class DistributedRuntime {
  public:
   struct Options {
     int coalesce = 16;     ///< C: items per atomic active message
-    int local_batch = 16;  ///< M: items per locally-spawned transaction
+    int local_batch = 16;  ///< M: items per locally-spawned activity
+    /// Receiver-side synchronization for operator batches (§4.1): one
+    /// coarse transaction per batch by default.
+    Mechanism mechanism = Mechanism::kHtmCoarsened;
   };
 
   /// Optional receiver-side sharding (§4.2: the runtime "reduces the
@@ -40,11 +45,12 @@ class DistributedRuntime {
   using ShardFn = std::function<std::uint32_t(std::uint64_t item)>;
   void set_sharding(ShardFn shard) { shard_ = std::move(shard); }
 
-  /// FF operator: modifies elements, returns nothing.
-  using ItemOp = std::function<void(htm::Txn&, std::uint64_t item)>;
+  /// FF operator: modifies elements through the executor's Access surface,
+  /// returns nothing.
+  using ItemOp = std::function<void(Access&, std::uint64_t item)>;
   /// FR operator: returns 0 for "nothing to report" or a non-zero result
   /// that flows back to the spawner's failure handler.
-  using ItemOpFr = std::function<std::uint64_t(htm::Txn&, std::uint64_t item)>;
+  using ItemOpFr = std::function<std::uint64_t(Access&, std::uint64_t item)>;
   using FailureHandler =
       std::function<void(htm::ThreadCtx&, std::uint64_t result)>;
 
@@ -119,6 +125,7 @@ class DistributedRuntime {
 
   net::Cluster& cluster_;
   Options options_;
+  std::unique_ptr<ActivityExecutor> executor_;
   ItemOp op_ff_;
   ItemOpFr op_fr_;
   ItemOpPlain op_plain_;
@@ -139,9 +146,6 @@ class DistributedRuntime {
   ShardFn shard_;
 
   void enqueue_batch(int node, Batch batch);
-
-  // Per thread: staging area for FR results of the in-flight batch.
-  std::vector<std::vector<std::uint64_t>> fr_results_;
 
   std::uint64_t items_executed_ = 0;
   std::uint64_t batches_executed_ = 0;

@@ -1,0 +1,218 @@
+#pragma once
+
+// Pluggable activity executors (§4.1, §6.1).
+//
+// The paper's central comparison treats coarsened HTM transactions, atomic
+// operations, and fine-grained locks as interchangeable ways of applying a
+// batch of single-element operators. This header makes that seam explicit:
+// an ActivityExecutor applies `count` operator invocations under ONE
+// synchronization mechanism, and every algorithm is written once against
+// the mechanism-neutral `Access` surface.
+//
+//   kHtmCoarsened — M operators per hardware transaction (§4.2 Listing 8);
+//                   the AAM default, with adaptive-M support.
+//   kAtomicOps    — one CAS/ACC per item, Graph500-style (§6.1 baseline).
+//   kFineLocks    — per-element striped spinlock around each guarded
+//                   update, Galois-like (§6.1.2).
+//   kSerialLock   — one global lock around the whole batch: the §4.1
+//                   coarse-lock lower bound.
+//   kStm          — the TL2-flavoured software TM (§8), run through the
+//                   same interface with a first-order cost model.
+//
+// Operator results that must survive transactional re-execution (claimed
+// vertices, recolor requests, FR replies) are not returned from the body —
+// bodies may run several times on aborts. Instead the operator calls
+// `Access::emit(value)`; the executor stages emissions per attempt and the
+// `BatchDone` callback receives exactly the committed attempt's values.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "htm/des_engine.hpp"
+#include "htm/stm_engine.hpp"
+
+namespace aam::util {
+class Cli;
+}
+
+namespace aam::core {
+
+enum class Mechanism {
+  kHtmCoarsened,
+  kAtomicOps,
+  kFineLocks,
+  kSerialLock,
+  kStm,
+};
+
+/// Canonical names: "htm", "atomics", "fine-locks", "serial-lock", "stm".
+const char* to_string(Mechanism mechanism);
+
+/// Inverse of to_string (exact match only); nullopt for unknown names.
+std::optional<Mechanism> parse_mechanism(std::string_view name);
+
+/// All mechanisms, in enum order (for sweeps and tests).
+std::span<const Mechanism> all_mechanisms();
+
+/// Reads `--<flag>=<name>` through the canonical Mechanism names; aborts
+/// with the list of valid names on a bad value.
+Mechanism mechanism_flag(util::Cli& cli, const std::string& flag,
+                         Mechanism def);
+
+/// Mechanism-neutral memory access surface handed to operators. Typed
+/// overloads (rather than a word-granular API) so that the atomic
+/// executors never CAS a full 8-byte word when the element is a packed
+/// 4-byte vertex — adjacent elements must stay independent.
+class Access {
+ public:
+  virtual ~Access() = default;
+
+  virtual std::uint32_t load(const std::uint32_t& ref) = 0;
+  virtual std::uint64_t load(const std::uint64_t& ref) = 0;
+  virtual double load(const double& ref) = 0;
+
+  virtual void store(std::uint32_t& ref, std::uint32_t value) = 0;
+  virtual void store(std::uint64_t& ref, std::uint64_t value) = 0;
+  virtual void store(double& ref, double value) = 0;
+
+  /// Guarded compare-and-swap: atomic w.r.t. the executor's mechanism.
+  virtual bool cas(std::uint32_t& ref, std::uint32_t expect,
+                   std::uint32_t desired) = 0;
+  virtual bool cas(std::uint64_t& ref, std::uint64_t expect,
+                   std::uint64_t desired) = 0;
+  virtual bool cas(double& ref, double expect, double desired) = 0;
+
+  virtual std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) = 0;
+  virtual double fetch_add(double& ref, double delta) = 0;
+
+  /// True when accesses are buffered into a transaction (the operator may
+  /// rely on all-or-nothing visibility of its writes).
+  virtual bool transactional() const = 0;
+
+  /// Records a per-item result for the batch's BatchDone callback. Under a
+  /// transactional executor the emissions of aborted attempts are
+  /// discarded; only the committed attempt's values are delivered.
+  void emit(std::uint64_t value) { results_->push_back(value); }
+
+ protected:
+  explicit Access(std::vector<std::uint64_t>* results) : results_(results) {}
+
+ private:
+  std::vector<std::uint64_t>* results_;
+};
+
+/// Adapts the threaded STM transaction to the Access surface. Used by the
+/// in-simulator kStm executor and directly by the real-thread backend
+/// (algorithms/threaded.cpp), so operator formulations are shared.
+/// `results` may be null only if the operator never calls emit().
+class StmAccess final : public Access {
+ public:
+  explicit StmAccess(htm::StmTxn& tx,
+                     std::vector<std::uint64_t>* results = nullptr)
+      : Access(results), tx_(tx) {}
+
+  std::uint32_t load(const std::uint32_t& ref) override { return tx_.load(ref); }
+  std::uint64_t load(const std::uint64_t& ref) override { return tx_.load(ref); }
+  double load(const double& ref) override { return tx_.load(ref); }
+  void store(std::uint32_t& ref, std::uint32_t value) override {
+    tx_.store(ref, value);
+  }
+  void store(std::uint64_t& ref, std::uint64_t value) override {
+    tx_.store(ref, value);
+  }
+  void store(double& ref, double value) override { tx_.store(ref, value); }
+  bool cas(std::uint32_t& ref, std::uint32_t expect,
+           std::uint32_t desired) override {
+    return cas_impl(ref, expect, desired);
+  }
+  bool cas(std::uint64_t& ref, std::uint64_t expect,
+           std::uint64_t desired) override {
+    return cas_impl(ref, expect, desired);
+  }
+  bool cas(double& ref, double expect, double desired) override {
+    return cas_impl(ref, expect, desired);
+  }
+  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
+    return tx_.fetch_add(ref, delta);
+  }
+  double fetch_add(double& ref, double delta) override {
+    return tx_.fetch_add(ref, delta);
+  }
+  bool transactional() const override { return true; }
+
+ private:
+  template <typename T>
+  bool cas_impl(T& ref, T expect, T desired) {
+    if (tx_.load(ref) != expect) return false;
+    tx_.store(ref, desired);
+    return true;
+  }
+
+  htm::StmTxn& tx_;
+};
+
+/// Applies batches of single-element operators under one mechanism.
+class ActivityExecutor {
+ public:
+  /// The single-element operator: item indices are [0, count) within the
+  /// batch passed to execute(). Captured references must stay valid until
+  /// the batch's BatchDone fires (transactional executors run the batch
+  /// after the staging next() call returns).
+  using ItemOp = std::function<void(Access&, std::uint64_t item)>;
+  /// Fires exactly once per execute() with the committed emissions.
+  using BatchDone =
+      std::function<void(htm::ThreadCtx&, std::span<const std::uint64_t>)>;
+
+  virtual ~ActivityExecutor() = default;
+
+  ActivityExecutor(const ActivityExecutor&) = delete;
+  ActivityExecutor& operator=(const ActivityExecutor&) = delete;
+
+  virtual Mechanism mechanism() const = 0;
+
+  /// Applies op(access, i) for i in [0, count) under the mechanism.
+  /// Transactional executors stage the batch: the call must then be the
+  /// last action of the current Worker::next(). Non-transactional
+  /// executors apply synchronously, and `done` (if any) fires before
+  /// execute returns.
+  virtual void execute(htm::ThreadCtx& ctx, std::uint64_t count,
+                       const ItemOp& op, BatchDone done = {}) = 0;
+
+  /// The executor's preferred operators-per-batch for work claiming (M
+  /// for HTM — live from the adaptive controller when one is attached;
+  /// the configured batch otherwise).
+  virtual int preferred_batch() const { return batch_; }
+  void set_batch(int m) { batch_ = m; }
+
+  /// Online M selection (§7): HtmCoarsened claims the controller's batch
+  /// size and feeds activity outcomes back; other mechanisms ignore it.
+  void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
+  AdaptiveBatch* adaptive() const { return adaptive_; }
+
+ protected:
+  explicit ActivityExecutor(int batch) : batch_(batch) {}
+
+  int batch_;
+  AdaptiveBatch* adaptive_ = nullptr;
+};
+
+struct ExecutorOptions {
+  int batch = 16;  ///< M: operators per coarse batch
+  /// kFineLocks: entries in the striped per-element lock table (rounded
+  /// up to a power of two; allocated on the machine's SimHeap).
+  std::uint32_t lock_stripes = 1u << 13;
+};
+
+/// Builds the executor for `mechanism` on `machine` (lock tables live on
+/// the machine's heap; the kStm engine is owned by the executor).
+std::unique_ptr<ActivityExecutor> make_executor(
+    Mechanism mechanism, htm::DesMachine& machine,
+    const ExecutorOptions& options = {});
+
+}  // namespace aam::core

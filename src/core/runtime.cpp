@@ -11,25 +11,20 @@ class AamRuntime::BatchWorker : public htm::Worker {
   bool next(htm::ThreadCtx& ctx) override {
     std::uint64_t begin = 0;
     std::uint64_t end = 0;
-    const int m = rt_.adaptive_ ? rt_.adaptive_->batch() : rt_.options_.batch;
+    const int m = rt_.executor_->preferred_batch();
     if (!rt_.cursor_.claim(ctx, rt_.count_, static_cast<std::uint32_t>(m),
                            begin, end)) {
       return false;
     }
-    // One coarse activity: M operator invocations in a single transaction
-    // (§4.2, Listing 8). The body may re-execute on retries, so it must
-    // derive everything from (begin, end) and transactional state.
-    htm::TxnDone done;
-    if (rt_.adaptive_ != nullptr) {
-      done = [this](htm::ThreadCtx&, const htm::TxnOutcome& outcome) {
-        rt_.adaptive_->record(outcome);
-      };
-    }
-    ctx.stage_transaction(
-        [this, begin, end](htm::Txn& tx) {
-          for (std::uint64_t i = begin; i < end; ++i) rt_.op_(tx, i);
-        },
-        std::move(done));
+    // One coarse activity: the executor applies the claimed chunk under
+    // its mechanism (a single transaction for kHtmCoarsened, per-item
+    // synchronization otherwise). Bodies may re-execute on retries, so
+    // everything derives from (begin, end) and executor-visible state.
+    rt_.executor_->execute(
+        ctx, end - begin,
+        [this, begin](Access& access, std::uint64_t i) {
+          rt_.op_(access, begin + i);
+        });
     return true;
   }
 
@@ -38,8 +33,11 @@ class AamRuntime::BatchWorker : public htm::Worker {
 };
 
 AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
-    : machine_(machine), options_(options), cursor_(machine.heap()) {
-  AAM_CHECK(options_.batch >= 1);
+    : machine_(machine),
+      executor_(make_executor(options.mechanism, machine,
+                              {.batch = options.batch})),
+      cursor_(machine.heap()) {
+  AAM_CHECK(options.batch >= 1);
   const int threads = machine_.num_threads();
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {

@@ -3,14 +3,16 @@
 // Intra-node AAM runtime (§3, §4.2).
 //
 // AamRuntime executes a worklist of operator invocations on all threads of
-// a DesMachine, *coarsening* activities: up to M single-element operators
-// run inside one hardware transaction, amortizing the begin/commit overhead
-// and reducing fine-grained synchronization (§4.2, Listing 8).
+// a DesMachine through a pluggable ActivityExecutor: by default up to M
+// single-element operators run inside one hardware transaction, amortizing
+// the begin/commit overhead and reducing fine-grained synchronization
+// (§4.2, Listing 8), but any Mechanism can be selected for the §4.1
+// executor comparison.
 //
-// The operator receives the transactional context and an item index; the
-// May-Fail/Always-Succeed distinction (§3.2.2) lives in the operator body
-// (a MF operator observes state and may do nothing), while hardware aborts
-// are always retried by the engine per the HTM policy.
+// The operator receives the mechanism-neutral Access surface and an item
+// index; the May-Fail/Always-Succeed distinction (§3.2.2) lives in the
+// operator body (a MF operator observes state and may do nothing), while
+// hardware aborts are always retried by the engine per the HTM policy.
 
 #include <cstdint>
 #include <functional>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "core/adaptive.hpp"
+#include "core/executor.hpp"
 #include "core/worklist.hpp"
 #include "htm/des_engine.hpp"
 
@@ -26,11 +29,13 @@ namespace aam::core {
 class AamRuntime {
  public:
   struct Options {
-    int batch = 16;  ///< M: operators per hardware transaction
+    int batch = 16;  ///< M: operators per coarse activity
+    Mechanism mechanism = Mechanism::kHtmCoarsened;
   };
 
-  /// The single-element operator: modifies graph elements through `tx`.
-  using ItemOp = std::function<void(htm::Txn&, std::uint64_t item)>;
+  /// The single-element operator: modifies graph elements through the
+  /// executor's Access surface.
+  using ItemOp = std::function<void(Access&, std::uint64_t item)>;
 
   AamRuntime(htm::DesMachine& machine, Options options);
   ~AamRuntime();
@@ -39,18 +44,21 @@ class AamRuntime {
   AamRuntime& operator=(const AamRuntime&) = delete;
 
   /// Applies `op` to every item in [0, count) across all machine threads,
-  /// batching M invocations per transaction. Returns when all committed.
+  /// batching M invocations per activity. Returns when all committed.
   /// (Fire-and-Forget usage; the op's own logic provides AS/MF semantics.)
   void for_each(std::uint64_t count, ItemOp op);
 
-  int batch() const { return options_.batch; }
-  void set_batch(int m) { options_.batch = m; }
+  int batch() const { return executor_->preferred_batch(); }
+  void set_batch(int m) { executor_->set_batch(m); }
+  Mechanism mechanism() const { return executor_->mechanism(); }
 
   /// Enables online M selection (§7 extension): the runtime claims chunks
   /// of the controller's current batch size and feeds activity outcomes
   /// back into it. Pass nullptr to return to the fixed batch.
-  void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
-  AdaptiveBatch* adaptive() { return adaptive_; }
+  void set_adaptive(AdaptiveBatch* adaptive) {
+    executor_->set_adaptive(adaptive);
+  }
+  AdaptiveBatch* adaptive() { return executor_->adaptive(); }
 
   htm::DesMachine& machine() { return machine_; }
 
@@ -58,12 +66,11 @@ class AamRuntime {
   class BatchWorker;
 
   htm::DesMachine& machine_;
-  Options options_;
+  std::unique_ptr<ActivityExecutor> executor_;
   ChunkCursor cursor_;
   std::vector<std::unique_ptr<BatchWorker>> workers_;
   ItemOp op_;
   std::uint64_t count_ = 0;
-  AdaptiveBatch* adaptive_ = nullptr;
 };
 
 }  // namespace aam::core

@@ -74,6 +74,19 @@ std::vector<std::int64_t> Cli::get_int_list(
   return out;
 }
 
+std::string Cli::get_choice(const std::string& name, const std::string& def,
+                            const std::vector<std::string>& allowed) {
+  const std::string value = get_string(name, def);
+  for (const auto& choice : allowed) {
+    if (value == choice) return value;
+  }
+  std::fprintf(stderr, "invalid --%s=%s; valid choices:", name.c_str(),
+               value.c_str());
+  for (const auto& choice : allowed) std::fprintf(stderr, " %s", choice.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
 void Cli::check_unknown() const {
   bool bad = false;
   for (const auto& [name, value] : values_) {

@@ -26,6 +26,10 @@ class Cli {
   /// Comma-separated integer list, e.g. --sizes=1,2,4,8.
   std::vector<std::int64_t> get_int_list(const std::string& name,
                                          const std::vector<std::int64_t>& def);
+  /// String restricted to `allowed`; aborts listing the valid choices if
+  /// the provided value is not one of them.
+  std::string get_choice(const std::string& name, const std::string& def,
+                         const std::vector<std::string>& allowed);
 
   bool has(const std::string& name) const { return values_.count(name) > 0; }
 

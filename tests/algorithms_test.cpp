@@ -35,10 +35,10 @@ Graph weighted_test_graph(std::uint64_t seed = 5) {
 
 // ------------------------------------------------------------------ BFS
 
-class BfsMechanismTest
-    : public ::testing::TestWithParam<std::tuple<BfsMechanism, int>> {};
+class BfsAllMechanismsTest
+    : public ::testing::TestWithParam<std::tuple<core::Mechanism, int>> {};
 
-TEST_P(BfsMechanismTest, ProducesValidBfsTree) {
+TEST_P(BfsAllMechanismsTest, ProducesValidBfsTree) {
   const auto [mechanism, threads] = GetParam();
   const Graph g = test_graph();
   mem::SimHeap heap(std::size_t{1} << 24);
@@ -56,13 +56,12 @@ TEST_P(BfsMechanismTest, ProducesValidBfsTree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllMechanismsAndThreads, BfsMechanismTest,
-    ::testing::Combine(::testing::Values(BfsMechanism::kAamHtm,
-                                         BfsMechanism::kAtomicCas,
-                                         BfsMechanism::kFineLocks),
+    AllMechanismsAndThreads, BfsAllMechanismsTest,
+    ::testing::Combine(::testing::ValuesIn(core::all_mechanisms().begin(),
+                                           core::all_mechanisms().end()),
                        ::testing::Values(1, 4, 8)),
     [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param));
+      std::string name = core::to_string(std::get<0>(info.param));
       std::erase(name, '-');  // gtest parameter names must be alphanumeric
       return name + "_T" + std::to_string(std::get<1>(info.param));
     });

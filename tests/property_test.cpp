@@ -273,8 +273,8 @@ TEST_P(BatchInvarianceTest, HistogramIndependentOfBatchSize) {
   constexpr std::uint64_t kBuckets = 64;
   auto hist = heap.alloc<std::uint64_t>(kBuckets * 8);
   core::AamRuntime rt(machine, {.batch = GetParam()});
-  rt.for_each(kItems, [&](htm::Txn& tx, std::uint64_t i) {
-    tx.fetch_add(hist[(util::mix64(i) % kBuckets) * 8], std::uint64_t{1});
+  rt.for_each(kItems, [&](core::Access& access, std::uint64_t i) {
+    access.fetch_add(hist[(util::mix64(i) % kBuckets) * 8], std::uint64_t{1});
   });
   std::uint64_t total = 0;
   for (std::uint64_t b = 0; b < kBuckets; ++b) total += hist[b * 8];
