@@ -21,12 +21,15 @@ using namespace aam;
 
 double run_workload(const model::MachineConfig& config, model::HtmKind kind,
                     int threads, int fixed_m, bool adaptive, bool hotspot,
-                    std::uint64_t items, std::uint64_t seed, int* final_m) {
+                    std::uint64_t items, std::uint64_t seed, int* final_m,
+                    const check::CheckConfig& check_cfg) {
   mem::SimHeap heap(std::size_t{1} << 24);
   htm::DesMachine machine(config, kind, threads, heap, seed);
+  bench::ScopedChecker scoped(machine, check_cfg);
   const std::uint64_t span = hotspot ? 16 : items;
   auto data = heap.alloc<std::uint64_t>(span * 8);
-  core::AamRuntime rt(machine, {.batch = fixed_m});
+  core::AamRuntime rt(machine,
+                      {.batch = fixed_m, .decorator = scoped.decorator()});
   core::AdaptiveBatch controller;
   if (adaptive) rt.set_adaptive(&controller);
   rt.for_each(items, [&](core::Access& access, std::uint64_t i) {
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
   io.csv_path = cli.get_string("csv", "");
   const auto items = static_cast<std::uint64_t>(cli.get_int("items", 1 << 16));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -61,14 +65,14 @@ int main(int argc, char** argv) {
     for (int m : {1, 8, 32, 80, 144, 320}) {
       int final_m = 0;
       const double t = run_workload(config, kind, 16, m, false, hotspot,
-                                    items, seed, &final_m);
+                                    items, seed, &final_m, check_cfg);
       rows.emplace_back("fixed M=" + std::to_string(m),
                         std::make_pair(t, final_m));
       if (best_fixed == 0 || t < best_fixed) best_fixed = t;
     }
     int final_m = 0;
     const double adaptive_t = run_workload(config, kind, 16, 8, true, hotspot,
-                                           items, seed, &final_m);
+                                           items, seed, &final_m, check_cfg);
     rows.emplace_back("adaptive", std::make_pair(adaptive_t, final_m));
 
     for (const auto& [name, tm] : rows) {

@@ -36,8 +36,9 @@ struct RunResult {
   htm::HtmStats stats;
 };
 
-using Runner =
-    std::function<RunResult(htm::DesMachine&, core::Mechanism, int batch)>;
+using Runner = std::function<RunResult(htm::DesMachine&, core::Mechanism,
+                                       int batch,
+                                       core::ExecutorDecorator* decorator)>;
 
 struct Algo {
   std::string name;
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> choices = {"all"};
   for (const auto m : core::all_mechanisms()) choices.push_back(core::to_string(m));
   const std::string only = cli.get_choice("mechanism", "all", choices);
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -102,61 +104,73 @@ int main(int argc, char** argv) {
 
   const std::vector<Algo> algos = {
       {"bfs",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::BfsOptions o;
          o.root = root;
          o.mechanism = mech;
          o.batch = batch;
+         o.decorator = dec;
          const auto r = algorithms::run_bfs(m, g, o);
          AAM_CHECK(algorithms::validate_bfs_tree(g, root, r.parent));
          return RunResult{r.total_time_ns, r.stats};
        }},
       {"pagerank",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::PageRankOptions o;
          o.iterations = pr_iters;
          o.mechanism = mech;
          o.batch = batch;
+         o.decorator = dec;
          const auto r = algorithms::run_pagerank(m, g, o);
          AAM_CHECK(!r.rank.empty());
          return RunResult{r.total_time_ns, r.stats};
        }},
       {"sssp",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::SsspOptions o;
          o.source = 0;
          o.mechanism = mech;
          o.batch = batch;
+         o.decorator = dec;
          const auto r = algorithms::run_sssp(m, wg, o);
          AAM_CHECK(r.relaxations > 0);
          return RunResult{r.total_time_ns, r.stats};
        }},
       {"coloring",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::ColoringOptions o;
          o.mechanism = mech;
          o.batch = batch;
          o.seed = seed;
+         o.decorator = dec;
          const auto r = algorithms::run_boman_coloring(m, g, o);
          AAM_CHECK(algorithms::validate_coloring(g, r.color));
          return RunResult{r.total_time_ns, r.stats};
        }},
       {"st-conn",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::StConnOptions o;
          o.s = root;
          o.t = st_t;
          o.mechanism = mech;
          o.batch = batch;
+         o.decorator = dec;
          const auto r = algorithms::run_st_connectivity(m, g, o);
          AAM_CHECK(r.vertices_colored > 0);
          return RunResult{r.total_time_ns, r.stats};
        }},
       {"boruvka",
-       [&](htm::DesMachine& m, core::Mechanism mech, int batch) {
+       [&](htm::DesMachine& m, core::Mechanism mech, int batch,
+           core::ExecutorDecorator* dec) {
          algorithms::BoruvkaOptions o;
          o.mechanism = mech;
          o.batch = batch;
+         o.decorator = dec;
          const auto r = algorithms::run_boruvka(m, wg, o);
          AAM_CHECK(r.total_weight <= mst_ref * 1.0001 + 1.0);
          return RunResult{r.total_time_ns, r.stats};
@@ -207,7 +221,9 @@ int main(int argc, char** argv) {
         mem::SimHeap heap(heap_bytes);
         htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
                                 heap, seed);
-        const RunResult r = algo.run(machine, v.mech, batch);
+        bench::ScopedChecker scoped(machine, check_cfg);
+        const RunResult r = algo.run(machine, v.mech, batch,
+                                     scoped.decorator());
         if (v.mech == core::Mechanism::kAtomicOps) atomics_time = r.time_ns;
         const std::string speedup =
             atomics_time > 0 ? bench::speedup_str(atomics_time / r.time_ns) + "x"

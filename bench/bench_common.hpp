@@ -10,8 +10,12 @@
 //  * optionally mirrors rows to CSV via --csv=<path>.
 
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
 #include <string>
 
+#include "check/check.hpp"
 #include "htm/des_engine.hpp"
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
@@ -55,5 +59,35 @@ inline std::string speedup_str(double s) {
   if (s > 0.99 && s < 1.01) return "~1";
   return util::format_double(s, 2);
 }
+
+/// Scope-bound dynamic analysis for one simulated run (--check=...). When
+/// the config enables any checker, builds a check::Checker on `machine`
+/// and exposes it as the ExecutorDecorator to thread into Options structs;
+/// at scope end, reports violations to stderr and exits 3 so CI treats a
+/// racy/non-serializable run as a failure. With --check=none (default)
+/// everything is a no-op.
+class ScopedChecker {
+ public:
+  ScopedChecker(htm::DesMachine& machine, const check::CheckConfig& config) {
+    if (config.enabled()) {
+      checker_ = std::make_unique<check::Checker>(machine, config);
+    }
+  }
+
+  ScopedChecker(const ScopedChecker&) = delete;
+  ScopedChecker& operator=(const ScopedChecker&) = delete;
+
+  core::ExecutorDecorator* decorator() { return checker_.get(); }
+  check::Checker* checker() { return checker_.get(); }
+
+  ~ScopedChecker() {
+    if (checker_ == nullptr || checker_->passed()) return;
+    checker_->report(std::cerr);
+    std::exit(3);
+  }
+
+ private:
+  std::unique_ptr<check::Checker> checker_;
+};
 
 }  // namespace aam::bench

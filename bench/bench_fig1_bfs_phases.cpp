@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(cli.get_int("threads", 64));
   const int batch = static_cast<int>(cli.get_int("batch", 128));  // 2^7
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -46,17 +47,21 @@ int main(int argc, char** argv) {
     mem::SimHeap heap(heap_bytes);
     htm::DesMachine machine(model::bgq(), model::HtmKind::kBgqShort, threads,
                             heap, seed);
-    atomics_result = baselines::graph500_bfs(machine, g, root);
+    bench::ScopedChecker scoped(machine, check_cfg);
+    atomics_result = baselines::graph500_bfs(machine, g, root,
+                                             scoped.decorator());
   }
   algorithms::BfsResult aam_result;
   {
     mem::SimHeap heap(heap_bytes);
     htm::DesMachine machine(model::bgq(), model::HtmKind::kBgqShort, threads,
                             heap, seed);
+    bench::ScopedChecker scoped(machine, check_cfg);
     algorithms::BfsOptions options;
     options.root = root;
     options.mechanism = core::Mechanism::kHtmCoarsened;
     options.batch = batch;
+    options.decorator = scoped.decorator();
     aam_result = algorithms::run_bfs(machine, g, options);
   }
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, atomics_result.parent));

@@ -35,16 +35,19 @@ struct Point {
 
 Point run_point(const model::MachineConfig& config, model::HtmKind kind,
                 int threads, int batch, const graph::Graph& g,
-                graph::Vertex root, std::uint64_t seed, bool baseline) {
+                graph::Vertex root, std::uint64_t seed, bool baseline,
+                const check::CheckConfig& check_cfg) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
   mem::SimHeap heap(heap_bytes);
   htm::DesMachine machine(config, kind, threads, heap, seed);
+  bench::ScopedChecker scoped(machine, check_cfg);
   algorithms::BfsOptions options;
   options.root = root;
   options.mechanism = baseline ? core::Mechanism::kAtomicOps
                                : core::Mechanism::kHtmCoarsened;
   options.batch = batch;
+  options.decorator = scoped.decorator();
   const auto result = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, result.parent));
   return {result.total_time_ns, result.stats};
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
       "batches", {1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 128, 144, 176, 208,
                   240, 272, 320});
   const std::string only_machine = cli.get_string("machine", "");
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -102,7 +106,7 @@ int main(int argc, char** argv) {
     if (!only_machine.empty() && config.name != only_machine) continue;
     for (int threads : bench::standard_thread_counts(config)) {
       const Point base = run_point(config, scenario.kinds[0], threads, 1, g,
-                                   root, seed, /*baseline=*/true);
+                                   root, seed, /*baseline=*/true, check_cfg);
       util::Table table({"mode", "M", "runtime", "txns", "aborts",
                          "overflows", "serialized", "annot %"});
       table.row().cell("Atomic-CAS").cell("-")
@@ -114,8 +118,8 @@ int main(int argc, char** argv) {
         int best_m = 0;
         for (std::int64_t m64 : batch_list) {
           const int m = static_cast<int>(m64);
-          const Point p =
-              run_point(config, kind, threads, m, g, root, seed, false);
+          const Point p = run_point(config, kind, threads, m, g, root, seed,
+                                    false, check_cfg);
           const auto& s = p.stats;
           // BGQ annotation: serializations / aborts; Haswell: overflow
           // share of aborts (the percentages printed in Fig 4).

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const int edge_factor = static_cast<int>(cli.get_int("edge-factor", 16));
   const int batch = static_cast<int>(cli.get_int("batch", 2));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -45,9 +46,11 @@ int main(int argc, char** argv) {
       mem::SimHeap heap(heap_bytes);
       htm::DesMachine machine(*config, model::HtmKind::kRtm, threads, heap,
                               seed);
+      bench::ScopedChecker scoped(machine, check_cfg);
       algorithms::BfsOptions options;
       options.root = root;
       options.batch = batch;
+      options.decorator = scoped.decorator();
       const auto result = algorithms::run_bfs(machine, g, options);
       AAM_CHECK(algorithms::validate_bfs_tree(g, root, result.parent));
       const auto& s = result.stats;

@@ -25,15 +25,17 @@ using namespace aam;
 double run_one(const model::MachineConfig& config, model::HtmKind kind,
                int threads, int batch, const graph::Graph& g,
                graph::Vertex root, std::uint64_t seed,
-               core::Mechanism mechanism) {
+               core::Mechanism mechanism, const check::CheckConfig& check_cfg) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
   mem::SimHeap heap(heap_bytes);
   htm::DesMachine machine(config, kind, threads, heap, seed);
+  bench::ScopedChecker scoped(machine, check_cfg);
   algorithms::BfsOptions options;
   options.root = root;
   options.mechanism = mechanism;
   options.batch = batch;
+  options.decorator = scoped.decorator();
   const auto r = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, r.parent));
   return r.total_time_ns;
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
   // baseline (default: coarse HTM, the paper's configuration).
   const core::Mechanism mechanism =
       core::mechanism_flag(cli, "mechanism", core::Mechanism::kHtmCoarsened);
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -91,9 +94,10 @@ int main(int argc, char** argv) {
         const graph::Vertex root = graph::pick_nonisolated_vertex(g);
         const double base =
             run_one(*mr.config, mr.kind, mr.threads, mr.batch, g, root,
-                    seed, core::Mechanism::kAtomicOps);
-        const double aam = run_one(*mr.config, mr.kind, mr.threads,
-                                   mr.batch, g, root, seed, mechanism);
+                    seed, core::Mechanism::kAtomicOps, check_cfg);
+        const double aam =
+            run_one(*mr.config, mr.kind, mr.threads, mr.batch, g, root,
+                    seed, mechanism, check_cfg);
         table.row().cell("2^" + std::to_string(scale))
             .cell(std::uint64_t(params.edge_factor))
             .cell(g.avg_degree(), 1)

@@ -21,7 +21,8 @@ struct RunResult {
 };
 
 RunResult run_pair(const graph::Graph& g, int nodes, int threads,
-                   int iterations, std::uint64_t seed) {
+                   int iterations, std::uint64_t seed,
+                   const check::CheckConfig& check_cfg) {
   algorithms::DistPrOptions options;
   options.iterations = iterations;
   RunResult out;
@@ -31,7 +32,9 @@ RunResult run_pair(const graph::Graph& g, int nodes, int threads,
     mem::SimHeap heap(std::size_t{1} << 26);
     net::Cluster cluster(model::bgq(), model::HtmKind::kBgqShort, nodes,
                          threads, heap, seed);
+    bench::ScopedChecker scoped(cluster.machine(), check_cfg);
     options.mode = algorithms::DistPrMode::kAam;
+    options.decorator = scoped.decorator();
     const auto r = run_distributed_pagerank(cluster, g, part, options);
     out.aam_ns = r.total_time_ns;
     aam_rank = r.rank;
@@ -43,7 +46,9 @@ RunResult run_pair(const graph::Graph& g, int nodes, int threads,
     mem::SimHeap heap(std::size_t{1} << 26);
     net::Cluster cluster(model::bgq(), model::HtmKind::kBgqShort,
                          nodes * threads, 1, heap, seed);
+    bench::ScopedChecker scoped(cluster.machine(), check_cfg);
     options.mode = algorithms::DistPrMode::kPbgl;
+    options.decorator = scoped.decorator();
     const auto r = run_distributed_pagerank(cluster, g, part, options);
     out.pbgl_ns = r.total_time_ns;
     // Both engines must compute the same ranks (up to float32 payloads).
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   const double er_p = cli.get_double("er-p", 0.005);
   const int iterations = static_cast<int>(cli.get_int("iterations", 3));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -81,7 +87,7 @@ int main(int argc, char** argv) {
     const graph::Graph g = graph::erdos_renyi(base_vertices, er_p, rng);
     util::Table table({"N", "T/node", "AAM", "PBGL-like", "speedup"});
     for (int nodes : {2, 4, 8, 16}) {
-      const RunResult r = run_pair(g, nodes, 4, iterations, seed);
+      const RunResult r = run_pair(g, nodes, 4, iterations, seed, check_cfg);
       table.row().cell(nodes).cell(4).cell(util::format_time_ns(r.aam_ns))
           .cell(util::format_time_ns(r.pbgl_ns))
           .cell(bench::speedup_str(r.pbgl_ns / r.aam_ns));
@@ -97,7 +103,8 @@ int main(int argc, char** argv) {
     const graph::Graph g = graph::erdos_renyi(base_vertices, er_p, rng);
     util::Table table({"T/node", "N", "AAM", "PBGL-like", "speedup"});
     for (int threads : {1, 2, 4, 8, 16}) {
-      const RunResult r = run_pair(g, 4, threads, iterations, seed);
+      const RunResult r = run_pair(g, 4, threads, iterations, seed,
+                                   check_cfg);
       table.row().cell(threads).cell(4).cell(util::format_time_ns(r.aam_ns))
           .cell(util::format_time_ns(r.pbgl_ns))
           .cell(bench::speedup_str(r.pbgl_ns / r.aam_ns));
@@ -117,7 +124,7 @@ int main(int argc, char** argv) {
       const double p = er_p * static_cast<double>(base_vertices) /
                        static_cast<double>(n);
       const graph::Graph g = graph::erdos_renyi(n, p, rng);
-      const RunResult r = run_pair(g, 4, 4, iterations, seed);
+      const RunResult r = run_pair(g, 4, 4, iterations, seed, check_cfg);
       table.row().cell(util::format_count(n))
           .cell(util::format_count(n / 4))
           .cell(util::format_time_ns(r.aam_ns))

@@ -20,16 +20,18 @@ using namespace aam;
 
 double bfs_time(const model::MachineConfig& config, model::HtmKind kind,
                 int threads, const graph::Graph& g, graph::Vertex root,
-                std::uint64_t seed, core::Mechanism mechanism,
-                int batch) {
+                std::uint64_t seed, core::Mechanism mechanism, int batch,
+                const check::CheckConfig& check_cfg) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
   mem::SimHeap heap(heap_bytes);
   htm::DesMachine machine(config, kind, threads, heap, seed);
+  bench::ScopedChecker scoped(machine, check_cfg);
   algorithms::BfsOptions options;
   options.root = root;
   options.mechanism = mechanism;
   options.batch = batch;
+  options.decorator = scoped.decorator();
   const auto r = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, r.parent));
   return r.total_time_ns;
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   // The paper's M=144 optimum holds at |V|=2^21; at scaled-down sizes the
   // conflict-bound optimum is smaller (see Fig 4 / EXPERIMENTS.md).
   const int aam_batch = static_cast<int>(cli.get_int("aam-batch", 16));
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -69,11 +72,11 @@ int main(int argc, char** argv) {
     for (int t : {1, 2, 4, 8, 16, 32, 64}) {
       const double aam = bfs_time(model::bgq(), model::HtmKind::kBgqShort, t,
                                   g, root, seed,
-                                  core::Mechanism::kHtmCoarsened,
-                                  aam_batch);
+                                  core::Mechanism::kHtmCoarsened, aam_batch,
+                                  check_cfg);
       const double base = bfs_time(model::bgq(), model::HtmKind::kBgqShort, t,
                                    g, root, seed,
-                                   core::Mechanism::kAtomicOps, 1);
+                                   core::Mechanism::kAtomicOps, 1, check_cfg);
       table.row().cell(t).cell(util::format_time_ns(aam))
           .cell(util::format_time_ns(base))
           .cell(bench::speedup_str(base / aam));
@@ -89,13 +92,15 @@ int main(int argc, char** argv) {
     for (int t : {1, 2, 4, 8}) {
       const double aam = bfs_time(model::has_c(), model::HtmKind::kRtm, t, g,
                                   root, seed,
-                                  core::Mechanism::kHtmCoarsened, 2);
+                                  core::Mechanism::kHtmCoarsened, 2,
+                                  check_cfg);
       const double base = bfs_time(model::has_c(), model::HtmKind::kRtm, t, g,
                                    root, seed,
-                                   core::Mechanism::kAtomicOps, 1);
+                                   core::Mechanism::kAtomicOps, 1, check_cfg);
       const double galois = bfs_time(model::has_c(), model::HtmKind::kRtm, t,
                                      g, root, seed,
-                                     core::Mechanism::kFineLocks, 1);
+                                     core::Mechanism::kFineLocks, 1,
+                                     check_cfg);
       double hama = 0;
       if (run_hama) {
         const std::size_t heap_bytes =

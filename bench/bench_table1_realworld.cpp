@@ -28,16 +28,18 @@ using namespace aam;
 
 double bfs_time(const model::MachineConfig& config, model::HtmKind kind,
                 int threads, const graph::Graph& g, graph::Vertex root,
-                std::uint64_t seed, core::Mechanism mechanism,
-                int batch) {
+                std::uint64_t seed, core::Mechanism mechanism, int batch,
+                const check::CheckConfig& check_cfg) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
   mem::SimHeap heap(heap_bytes);
   htm::DesMachine machine(config, kind, threads, heap, seed);
+  bench::ScopedChecker scoped(machine, check_cfg);
   algorithms::BfsOptions options;
   options.root = root;
   options.mechanism = mechanism;
   options.batch = batch;
+  options.decorator = scoped.decorator();
   const auto r = algorithms::run_bfs(machine, g, options);
   AAM_CHECK(algorithms::validate_bfs_tree(g, root, r.parent));
   return r.total_time_ns;
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool run_hama = cli.get_bool("hama", true);
   const std::string only = cli.get_string("only", "");
+  const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -78,12 +81,14 @@ int main(int argc, char** argv) {
     const auto& bq = model::bgq();
     const auto kS = model::HtmKind::kBgqShort;
     const double bgq_base = bfs_time(bq, kS, 64, g, root, seed,
-                                     core::Mechanism::kAtomicOps, 1);
+                                     core::Mechanism::kAtomicOps, 1,
+                                     check_cfg);
     const double bgq_m24 = bfs_time(bq, kS, 64, g, root, seed,
-                                    core::Mechanism::kHtmCoarsened, 24);
+                                    core::Mechanism::kHtmCoarsened, 24,
+                                    check_cfg);
     const double bgq_opt =
-        bfs_time(bq, kS, 64, g, root, seed,
-                 core::Mechanism::kHtmCoarsened, analog.paper_bgq_opt_m);
+        bfs_time(bq, kS, 64, g, root, seed, core::Mechanism::kHtmCoarsened,
+                 analog.paper_bgq_opt_m, check_cfg);
     bgq_table.row().cell(analog.id).cell(graph::to_string(analog.family))
         .cell(util::format_count(g.num_vertices()))
         .cell(g.avg_degree(), 1)
@@ -97,14 +102,16 @@ int main(int argc, char** argv) {
     const auto& hc = model::has_c();
     const auto kR = model::HtmKind::kRtm;
     const double has_base = bfs_time(hc, kR, 8, g, root, seed,
-                                     core::Mechanism::kAtomicOps, 1);
+                                     core::Mechanism::kAtomicOps, 1,
+                                     check_cfg);
     const double has_m2 = bfs_time(hc, kR, 8, g, root, seed,
-                                   core::Mechanism::kHtmCoarsened, 2);
+                                   core::Mechanism::kHtmCoarsened, 2,
+                                   check_cfg);
     const double has_opt =
-        bfs_time(hc, kR, 8, g, root, seed,
-                 core::Mechanism::kHtmCoarsened, analog.paper_has_opt_m);
+        bfs_time(hc, kR, 8, g, root, seed, core::Mechanism::kHtmCoarsened,
+                 analog.paper_has_opt_m, check_cfg);
     const double galois = bfs_time(hc, kR, 8, g, root, seed,
-                                   core::Mechanism::kFineLocks, 1);
+                                   core::Mechanism::kFineLocks, 1, check_cfg);
     double hama = 0;
     if (run_hama) {
       const std::size_t heap_bytes =

@@ -157,8 +157,9 @@ BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
   state.graph = &graph;
   state.options = options;
   state.parent = machine.heap().alloc<Vertex>(n);
-  auto executor = core::make_executor(options.mechanism, machine,
-                                      {.batch = options.batch});
+  auto executor = core::make_executor(
+      options.mechanism, machine,
+      {.batch = options.batch, .decorator = options.decorator});
   state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;

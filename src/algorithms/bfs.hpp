@@ -28,6 +28,8 @@ struct BfsOptions {
   int batch = 16;        ///< M: vertices visited per coarse activity
   int scan_chunk = 512;  ///< frontier *edges* claimed per work unit
   double barrier_cost_ns = 400.0;  ///< per-level synchronization cost
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct BfsResult {

@@ -149,8 +149,9 @@ BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
   state.options = options;
   state.parent = machine.heap().alloc<Vertex>(n);
   for (Vertex v = 0; v < n; ++v) state.parent[v] = v;
-  auto executor = core::make_executor(options.mechanism, machine,
-                                      {.batch = options.batch});
+  auto executor = core::make_executor(
+      options.mechanism, machine,
+      {.batch = options.batch, .decorator = options.decorator});
   state.executor = executor.get();
   core::ChunkCursor scan_cursor(machine.heap());
   core::ChunkCursor merge_cursor(machine.heap());

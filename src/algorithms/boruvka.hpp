@@ -26,6 +26,8 @@ struct BoruvkaOptions {
   int batch = 4;  ///< merges attempted per coarse activity
   double barrier_cost_ns = 600.0;
   int max_rounds = 64;
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct BoruvkaResult {

@@ -142,8 +142,9 @@ ColoringResult run_boman_coloring(htm::DesMachine& machine,
   state.graph = &graph;
   state.options = options;
   state.color = machine.heap().alloc<std::uint32_t>(n);
-  auto executor = core::make_executor(options.mechanism, machine,
-                                      {.batch = options.batch});
+  auto executor = core::make_executor(
+      options.mechanism, machine,
+      {.batch = options.batch, .decorator = options.decorator});
   state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;

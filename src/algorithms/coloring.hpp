@@ -26,6 +26,8 @@ struct ColoringOptions {
   std::uint64_t seed = 1;
   double barrier_cost_ns = 400.0;
   int max_rounds = 256;  ///< safety bound; the heuristic converges long before
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct ColoringResult {

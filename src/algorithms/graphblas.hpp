@@ -61,6 +61,8 @@ struct VxmOptions {
   bool use_weights = false;
   double one = 1.0;  ///< matrix value for unweighted graphs
   core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 /// out ⊕= in ⊗ A, with A the graph's adjacency structure. `out` must live
@@ -77,8 +79,9 @@ void vxm(htm::DesMachine& machine, const graph::Graph& graph,
   AAM_CHECK(out.size() == graph.num_vertices());
   AAM_CHECK(!options.use_weights || graph.has_weights());
 
-  core::AamRuntime runtime(
-      machine, {.batch = options.batch, .mechanism = options.mechanism});
+  core::AamRuntime runtime(machine, {.batch = options.batch,
+                                     .mechanism = options.mechanism,
+                                     .decorator = options.decorator});
   runtime.for_each(graph.num_vertices(), [&](core::Access& access,
                                              std::uint64_t item) {
     const auto v = static_cast<graph::Vertex>(item);

@@ -19,8 +19,9 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
   for (Vertex v = 0; v < n; ++v) old_rank[v] = init;
 
   machine.reset_clocks(0.0, /*clear_stats=*/true);
-  core::AamRuntime runtime(
-      machine, {.batch = options.batch, .mechanism = options.mechanism});
+  core::AamRuntime runtime(machine, {.batch = options.batch,
+                                     .mechanism = options.mechanism,
+                                     .decorator = options.decorator});
 
   const double d = options.damping;
   const double base = (1.0 - d) / static_cast<double>(n);

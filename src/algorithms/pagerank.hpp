@@ -24,6 +24,8 @@ struct PageRankOptions {
   double damping = 0.85;
   int batch = 16;  ///< M: vertex operators per coarse activity
   core::Mechanism mechanism = core::Mechanism::kHtmCoarsened;
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct PageRankResult {

@@ -113,6 +113,7 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
       pbgl ? std::min(options.coalesce, 4) : options.coalesce;
   rt_options.local_batch = options.local_batch;
   rt_options.mechanism = options.mechanism;
+  rt_options.decorator = options.decorator;
   core::DistributedRuntime rt(cluster, rt_options);
 
   if (pbgl) {

@@ -20,6 +20,8 @@ struct SsspOptions {
   int batch = 16;  ///< M: relaxations per coarse activity
   int scan_chunk = 64;
   double barrier_cost_ns = 400.0;
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct SsspResult {

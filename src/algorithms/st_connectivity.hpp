@@ -23,6 +23,8 @@ struct StConnOptions {
   int batch = 16;       ///< M: operators per coarse activity
   int scan_chunk = 64;
   double barrier_cost_ns = 400.0;
+  /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+  core::ExecutorDecorator* decorator = nullptr;
 };
 
 struct StConnResult {

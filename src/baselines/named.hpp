@@ -28,32 +28,32 @@ namespace aam::baselines {
 /// BFS under a mechanism picked by canonical name from the shared
 /// registry (core::parse_mechanism): "htm", "atomics", "fine-locks",
 /// "serial-lock", "stm". The named baselines below delegate here.
-inline algorithms::BfsResult mechanism_bfs(htm::DesMachine& machine,
-                                           const graph::Graph& graph,
-                                           graph::Vertex root,
-                                           std::string_view mechanism_name,
-                                           int batch = 1) {
+inline algorithms::BfsResult mechanism_bfs(
+    htm::DesMachine& machine, const graph::Graph& graph, graph::Vertex root,
+    std::string_view mechanism_name, int batch = 1,
+    core::ExecutorDecorator* decorator = nullptr) {
   const auto mechanism = core::parse_mechanism(mechanism_name);
   AAM_CHECK_MSG(mechanism.has_value(), "unknown mechanism name");
   algorithms::BfsOptions options;
   options.root = root;
   options.mechanism = *mechanism;
   options.batch = batch;
+  options.decorator = decorator;
   return algorithms::run_bfs(machine, graph, options);
 }
 
 /// Graph500 reference BFS (atomic CAS + pre-check, one vertex per op).
-inline algorithms::BfsResult graph500_bfs(htm::DesMachine& machine,
-                                          const graph::Graph& graph,
-                                          graph::Vertex root) {
-  return mechanism_bfs(machine, graph, root, "atomics");
+inline algorithms::BfsResult graph500_bfs(
+    htm::DesMachine& machine, const graph::Graph& graph, graph::Vertex root,
+    core::ExecutorDecorator* decorator = nullptr) {
+  return mechanism_bfs(machine, graph, root, "atomics", 1, decorator);
 }
 
 /// Galois-like BFS (fine per-vertex locks).
-inline algorithms::BfsResult galois_bfs(htm::DesMachine& machine,
-                                        const graph::Graph& graph,
-                                        graph::Vertex root) {
-  return mechanism_bfs(machine, graph, root, "fine-locks");
+inline algorithms::BfsResult galois_bfs(
+    htm::DesMachine& machine, const graph::Graph& graph, graph::Vertex root,
+    core::ExecutorDecorator* decorator = nullptr) {
+  return mechanism_bfs(machine, graph, root, "fine-locks", 1, decorator);
 }
 
 struct SnapBfsResult {

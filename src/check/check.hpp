@@ -1,0 +1,209 @@
+#pragma once
+
+// aam::check — opt-in dynamic analysis for the executor seam (the "is the
+// simulation actually race-free and serializable?" question).
+//
+// Every algorithm in this repository funnels its shared-state mutations
+// through core::Access, and every modelled write that reaches committed
+// memory passes a handful of DesMachine choke points. That makes three
+// strong checks cheap to piggyback on the existing seams:
+//
+//  * escaped-write detector (races) — keeps a shadow copy of the SimHeap's
+//    committed state, synchronised from the engine's WriteObserver hooks,
+//    and flags any byte that changed without flowing through a modelled
+//    channel: a raw pointer write that no mechanism synchronizes, bumps
+//    conflict stamps for, or charges costs to. Reported with the heap
+//    offset, 64-byte line id, owning allocation label, and batch index.
+//
+//  * serializability checker (serial) — re-executes each committed batch
+//    serially against the batch's recorded pre-images on a shadow overlay
+//    and diffs both the final words and the emission sequence against what
+//    the mechanism actually committed. A batch whose outcome cannot be
+//    reproduced by some serial order of its own operators is not
+//    linearizable — the exact property coarsened transactions claim.
+//
+//  * footprint auditor (footprint) — cross-checks the engine's declared
+//    FootprintTracker read/write conflict-unit sets against the accesses
+//    the operator actually made (HTM executor only — the tracker belongs
+//    to the transactional attempt), and folds every committed (word,
+//    value) pair into a chained FNV-1a digest for run-to-run determinism
+//    regression tests.
+//
+// All three are wired through one CheckConfig (CLI: --check=none|races|
+// serial|footprint|all). When disabled nothing is allocated, the executor
+// is not wrapped, and the engine's observer branch stays unset — zero
+// overhead. When enabled, all bookkeeping happens host-side: no modelled
+// cost is charged, so enabling checks never perturbs simulated time.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "htm/des_engine.hpp"
+#include "mem/footprint.hpp"
+#include "mem/sim_heap.hpp"
+
+namespace aam::util {
+class Cli;
+}
+
+namespace aam::check {
+
+struct CheckConfig {
+  bool races = false;      ///< escaped-write detector
+  bool serial = false;     ///< serial re-execution differ
+  bool footprint = false;  ///< declared-footprint audit + commit digest
+  /// Batches between shadow scans (races). 1 = scan after every batch,
+  /// attributing escapes to the batch that made them; larger values trade
+  /// attribution precision for scan cost.
+  int scan_interval = 1;
+
+  bool enabled() const { return races || serial || footprint; }
+};
+
+/// Parses a --check value: "none", "races", "serial", "footprint", "all".
+/// nullopt for anything else.
+std::optional<CheckConfig> parse_check(std::string_view name);
+
+/// Comma-separated list of the valid --check spellings (diagnostics).
+std::string check_names();
+
+/// The full diagnostic for a bad --check value: names the flag, echoes the
+/// offending value, lists every valid spelling (mirrors mechanism_error).
+std::string check_error(const std::string& flag, const std::string& value);
+
+/// Reads `--<flag>=<name>` into a CheckConfig; aborts with check_error()
+/// on a bad value.
+CheckConfig check_flag(util::Cli& cli, const std::string& flag = "check");
+
+struct Violation {
+  enum class Kind : std::uint8_t {
+    kEscapedWrite,       ///< committed memory changed outside all channels
+    kSerialDivergence,   ///< batch outcome != serial re-execution outcome
+    kFootprintMismatch,  ///< access outside the declared conflict sets
+  };
+  Kind kind;
+  std::uint64_t batch = 0;   ///< global batch (activity) sequence number
+  std::uint64_t offset = 0;  ///< heap byte offset of the disagreement
+  std::string detail;        ///< human-readable description
+};
+
+const char* to_string(Violation::Kind kind);
+
+/// The checker. Construct with the machine under test and a config, then
+/// pass it as ExecutorOptions::decorator (directly or via the Options
+/// structs of the runtimes/algorithms) so every executor the run builds is
+/// wrapped. One Checker instance may wrap any number of executors on the
+/// same machine; the DES event loop is single-threaded, so no locking.
+class Checker final : public core::ExecutorDecorator,
+                      public mem::WriteObserver {
+ public:
+  Checker(htm::DesMachine& machine, CheckConfig config);
+  ~Checker() override;
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  // core::ExecutorDecorator
+  std::unique_ptr<core::ActivityExecutor> wrap(
+      std::unique_ptr<core::ActivityExecutor> inner) override;
+
+  // mem::WriteObserver (registered on the machine only in races mode)
+  void on_legitimate_write(std::uint64_t offset, std::uint32_t len) override;
+  void on_run_start() override;
+
+  const CheckConfig& config() const { return config_; }
+  htm::DesMachine& machine() { return machine_; }
+
+  /// Violations found so far (capped at kMaxStored; the total keeps
+  /// counting past the cap).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t violations_total() const { return violations_total_; }
+  bool passed() const { return violations_total_ == 0; }
+
+  std::uint64_t batches_checked() const { return batches_; }
+
+  /// Chained FNV-1a digest over every committed batch's (word offset,
+  /// value) write set in commit order (footprint mode). Two runs of a
+  /// deterministic simulation must produce identical digests.
+  std::uint64_t digest() const { return digest_; }
+
+  /// Writes every stored violation (plus a summary line) to `out`.
+  void report(std::ostream& out) const;
+
+  inline static constexpr std::size_t kMaxStored = 64;
+
+ private:
+  friend class CheckedExecutor;
+  friend class RecordingAccess;
+  friend class ShadowAccess;
+
+  /// Everything recorded about one in-flight batch on one thread. Reset at
+  /// execute() and again at each transactional retry (item 0 re-entry);
+  /// consumed by on_batch_done.
+  struct BatchRecord {
+    mem::WordMap pre;       ///< word offset -> committed pre-image
+    mem::EpochSet read_set;
+    mem::EpochSet write_set;
+    std::vector<std::uint64_t> read_words;   ///< first-touch order
+    std::vector<std::uint64_t> write_words;  ///< first-write order
+    bool transactional = false;
+    bool foreign = false;  ///< an Access touched memory off the SimHeap
+  };
+
+  void begin_batch(std::uint32_t tid);
+  void begin_attempt(std::uint32_t tid);
+  void on_batch_done(std::uint32_t tid, core::Mechanism mechanism,
+                     std::uint64_t count,
+                     const core::ActivityExecutor::ItemOp& op,
+                     std::span<const std::uint64_t> results);
+
+  void replay_serial(BatchRecord& rec, std::uint64_t count,
+                     const core::ActivityExecutor::ItemOp& op,
+                     std::span<const std::uint64_t> results,
+                     std::uint64_t batch_no);
+  void audit_footprint_for(std::uint32_t tid, std::uint64_t batch_no);
+  void fold_digest(BatchRecord& rec, std::uint64_t count);
+
+  void scan_shadow(std::uint64_t batch_no);
+  void sync_shadow_growth();
+  void refresh_exempt();
+  void compare_range(std::uint64_t lo, std::uint64_t hi,
+                     std::uint64_t batch_no);
+
+  void add_violation(Violation::Kind kind, std::uint64_t batch,
+                     std::uint64_t offset, std::string detail);
+
+  /// The committed 8-byte word at heap offset `word` (word-aligned; reads
+  /// fewer bytes at the very end of the used region).
+  std::uint64_t committed_word(std::uint64_t word) const;
+
+  htm::DesMachine& machine_;
+  CheckConfig config_;
+  bool record_batches_ = false;  ///< serial || footprint
+
+  std::vector<BatchRecord> records_;  ///< per thread id
+
+  // races: shadow of the committed heap + pending legitimate intervals.
+  std::vector<std::byte> shadow_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> legit_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> exempt_;  ///< [lo,hi)
+  std::size_t exempt_allocs_seen_ = 0;
+
+  // serial: replay scratch (reused across batches).
+  mem::WordMap overlay_;
+  std::vector<std::uint64_t> replay_results_;
+
+  std::uint64_t batches_ = 0;
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::vector<Violation> violations_;
+  std::uint64_t violations_total_ = 0;
+};
+
+}  // namespace aam::check

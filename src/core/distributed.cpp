@@ -7,8 +7,9 @@ namespace aam::core {
 DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
     : cluster_(cluster),
       options_(options),
-      executor_(make_executor(options.mechanism, cluster.machine(),
-                              {.batch = options.local_batch})) {
+      executor_(make_executor(
+          options.mechanism, cluster.machine(),
+          {.batch = options.local_batch, .decorator = options.decorator})) {
   AAM_CHECK(options_.coalesce >= 1 && options_.local_batch >= 1);
 
   // Incoming operator batches: queue them for transactional execution by

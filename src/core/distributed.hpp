@@ -33,6 +33,8 @@ class DistributedRuntime {
     /// Receiver-side synchronization for operator batches (§4.1): one
     /// coarse transaction per batch by default.
     Mechanism mechanism = Mechanism::kHtmCoarsened;
+    /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+    ExecutorDecorator* decorator = nullptr;
   };
 
   /// Optional receiver-side sharding (§4.2: the runtime "reduces the

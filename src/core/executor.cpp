@@ -394,7 +394,8 @@ class FineLocksExecutor final : public StagedExecutor {
                     std::uint32_t stripes)
       : StagedExecutor(machine, batch),
         heap_(machine.heap()),
-        locks_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes))) {
+        locks_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes),
+                                                  "fine-locks.stripes")) {
     for (auto& lock : locks_) lock = 0;
   }
 
@@ -419,7 +420,7 @@ class SerialLockExecutor final : public StagedExecutor {
  public:
   SerialLockExecutor(htm::DesMachine& machine, int batch)
       : StagedExecutor(machine, batch),
-        lock_(machine.heap().alloc<std::uint32_t>(1)) {
+        lock_(machine.heap().alloc<std::uint32_t>(1, "serial-lock.word")) {
     lock_[0] = 0;
   }
 
@@ -456,8 +457,9 @@ class StmExecutor final : public StagedExecutor {
       : StagedExecutor(machine, batch),
         costs_(machine.config().atomics),
         heap_(machine.heap()),
-        orecs_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes))),
-        clock_(machine.heap().alloc<std::uint32_t>(1)),
+        orecs_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes),
+                                                  "stm.orecs")),
+        clock_(machine.heap().alloc<std::uint32_t>(1, "stm.clock")),
         writes_(static_cast<std::size_t>(machine.num_threads())) {
     for (auto& orec : orecs_) orec = 0;
     clock_[0] = 0;
@@ -550,15 +552,26 @@ std::optional<Mechanism> parse_mechanism(std::string_view name) {
 
 std::span<const Mechanism> all_mechanisms() { return kAllMechanisms; }
 
+std::string mechanism_names() {
+  std::string names;
+  for (Mechanism m : kAllMechanisms) {
+    if (!names.empty()) names += ", ";
+    names += to_string(m);
+  }
+  return names;
+}
+
+std::string mechanism_error(const std::string& flag, const std::string& value) {
+  return "--" + flag + "=" + value + ": unknown mechanism; valid names: " +
+         mechanism_names();
+}
+
 Mechanism mechanism_flag(util::Cli& cli, const std::string& flag,
                          Mechanism def) {
   const std::string value = cli.get_string(flag, to_string(def));
   const auto parsed = parse_mechanism(value);
   if (!parsed.has_value()) {
-    std::fprintf(stderr, "--%s=%s: unknown mechanism; valid:", flag.c_str(),
-                 value.c_str());
-    for (Mechanism m : kAllMechanisms) std::fprintf(stderr, " %s", to_string(m));
-    std::fprintf(stderr, "\n");
+    std::fprintf(stderr, "%s\n", mechanism_error(flag, value).c_str());
     std::exit(2);
   }
   return *parsed;
@@ -568,22 +581,31 @@ std::unique_ptr<ActivityExecutor> make_executor(Mechanism mechanism,
                                                 htm::DesMachine& machine,
                                                 const ExecutorOptions& options) {
   AAM_CHECK(options.batch >= 1);
+  std::unique_ptr<ActivityExecutor> executor;
   switch (mechanism) {
     case Mechanism::kHtmCoarsened:
-      return std::make_unique<HtmCoarsenedExecutor>(machine, options.batch);
+      executor = std::make_unique<HtmCoarsenedExecutor>(machine, options.batch);
+      break;
     case Mechanism::kAtomicOps:
-      return std::make_unique<AtomicOpsExecutor>(machine, options.batch);
+      executor = std::make_unique<AtomicOpsExecutor>(machine, options.batch);
+      break;
     case Mechanism::kFineLocks:
-      return std::make_unique<FineLocksExecutor>(machine, options.batch,
-                                                 options.lock_stripes);
+      executor = std::make_unique<FineLocksExecutor>(machine, options.batch,
+                                                     options.lock_stripes);
+      break;
     case Mechanism::kSerialLock:
-      return std::make_unique<SerialLockExecutor>(machine, options.batch);
+      executor = std::make_unique<SerialLockExecutor>(machine, options.batch);
+      break;
     case Mechanism::kStm:
-      return std::make_unique<StmExecutor>(machine, options.batch,
-                                           options.lock_stripes);
+      executor = std::make_unique<StmExecutor>(machine, options.batch,
+                                               options.lock_stripes);
+      break;
   }
-  AAM_CHECK_MSG(false, "unknown mechanism");
-  return nullptr;
+  AAM_CHECK_MSG(executor != nullptr, "unknown mechanism");
+  if (options.decorator != nullptr) {
+    executor = options.decorator->wrap(std::move(executor));
+  }
+  return executor;
 }
 
 }  // namespace aam::core

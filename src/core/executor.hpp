@@ -60,8 +60,16 @@ std::optional<Mechanism> parse_mechanism(std::string_view name);
 /// All mechanisms, in enum order (for sweeps and tests).
 std::span<const Mechanism> all_mechanisms();
 
+/// Comma-separated list of the canonical mechanism names (diagnostics).
+std::string mechanism_names();
+
+/// The full diagnostic emitted when `value` is not a mechanism name:
+/// names the flag, echoes the offending value, and lists every valid
+/// spelling. Split out from mechanism_flag so tests can pin the format.
+std::string mechanism_error(const std::string& flag, const std::string& value);
+
 /// Reads `--<flag>=<name>` through the canonical Mechanism names; aborts
-/// with the list of valid names on a bad value.
+/// with mechanism_error() on a bad value.
 Mechanism mechanism_flag(util::Cli& cli, const std::string& flag,
                          Mechanism def);
 
@@ -98,7 +106,9 @@ class Access {
   /// Records a per-item result for the batch's BatchDone callback. Under a
   /// transactional executor the emissions of aborted attempts are
   /// discarded; only the committed attempt's values are delivered.
-  void emit(std::uint64_t value) { results_->push_back(value); }
+  /// (Virtual so wrappers — e.g. the check:: recording layer — can route
+  /// emissions to the wrapped executor's staging buffer.)
+  virtual void emit(std::uint64_t value) { results_->push_back(value); }
 
  protected:
   explicit Access(std::vector<std::uint64_t>* results) : results_(results) {}
@@ -186,14 +196,15 @@ class ActivityExecutor {
 
   /// The executor's preferred operators-per-batch for work claiming (M
   /// for HTM — live from the adaptive controller when one is attached;
-  /// the configured batch otherwise).
+  /// the configured batch otherwise). Virtual (with set_batch and the
+  /// adaptive hooks) so decorating executors can forward to the inner one.
   virtual int preferred_batch() const { return batch_; }
-  void set_batch(int m) { batch_ = m; }
+  virtual void set_batch(int m) { batch_ = m; }
 
   /// Online M selection (§7): HtmCoarsened claims the controller's batch
   /// size and feeds activity outcomes back; other mechanisms ignore it.
-  void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
-  AdaptiveBatch* adaptive() const { return adaptive_; }
+  virtual void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
+  virtual AdaptiveBatch* adaptive() const { return adaptive_; }
 
  protected:
   explicit ActivityExecutor(int batch) : batch_(batch) {}
@@ -202,11 +213,24 @@ class ActivityExecutor {
   AdaptiveBatch* adaptive_ = nullptr;
 };
 
+/// Wraps a freshly built executor in an analysis layer. Implemented by
+/// check::Checker (src/check/); declared here so the construction seam
+/// (make_executor and every Options struct that feeds it) can carry a
+/// checker without the core layer depending on the check subsystem.
+class ExecutorDecorator {
+ public:
+  virtual ~ExecutorDecorator() = default;
+  virtual std::unique_ptr<ActivityExecutor> wrap(
+      std::unique_ptr<ActivityExecutor> inner) = 0;
+};
+
 struct ExecutorOptions {
   int batch = 16;  ///< M: operators per coarse batch
   /// kFineLocks: entries in the striped per-element lock table (rounded
   /// up to a power of two; allocated on the machine's SimHeap).
   std::uint32_t lock_stripes = 1u << 13;
+  /// Optional dynamic-analysis wrapper (see src/check/); nullptr = none.
+  ExecutorDecorator* decorator = nullptr;
 };
 
 /// Builds the executor for `mechanism` on `machine` (lock tables live on

@@ -34,8 +34,9 @@ class AamRuntime::BatchWorker : public htm::Worker {
 
 AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
     : machine_(machine),
-      executor_(make_executor(options.mechanism, machine,
-                              {.batch = options.batch})),
+      executor_(make_executor(
+          options.mechanism, machine,
+          {.batch = options.batch, .decorator = options.decorator})),
       cursor_(machine.heap()) {
   AAM_CHECK(options.batch >= 1);
   const int threads = machine_.num_threads();

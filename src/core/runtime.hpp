@@ -31,6 +31,8 @@ class AamRuntime {
   struct Options {
     int batch = 16;  ///< M: operators per coarse activity
     Mechanism mechanism = Mechanism::kHtmCoarsened;
+    /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
+    ExecutorDecorator* decorator = nullptr;
   };
 
   /// The single-element operator: modifies graph elements through the

@@ -17,7 +17,7 @@ namespace aam::core {
 class ChunkCursor {
  public:
   explicit ChunkCursor(mem::SimHeap& heap)
-      : cursor_(heap.alloc_isolated<std::uint64_t>(0)) {}
+      : cursor_(heap.alloc_isolated<std::uint64_t>(0, "worklist.cursor")) {}
 
   /// Claims the next chunk of up to `chunk` items from [0, limit).
   /// Returns false when the range is exhausted. Charges one atomic ACC.

@@ -105,12 +105,16 @@ void Txn::store_word(std::uintptr_t addr, std::uint64_t word) {
 
 void ThreadCtx::charge_load() { clock_ += machine_->config().atomics.load_ns; }
 
-void ThreadCtx::charge_store(const void* p) {
+void ThreadCtx::charge_store(const void* p, std::size_t len) {
   clock_ += machine_->config().atomics.store_ns;
   if (machine_->heap().contains(p)) {
     // A plain store is immediately visible: overlapping transactions that
     // touched this location must observe it as a conflict.
     machine_->bump_addr(p);
+    if (machine_->write_observer_ != nullptr) {
+      machine_->write_observer_->on_legitimate_write(
+          machine_->heap().offset_of(p), static_cast<std::uint32_t>(len));
+    }
   }
 }
 
@@ -148,8 +152,12 @@ void ThreadCtx::begin_atomic(const void* p, bool is_cas) {
   }
 }
 
-void ThreadCtx::commit_atomic_write(const void* p) {
+void ThreadCtx::commit_atomic_write(const void* p, std::size_t len) {
   machine_->bump_addr(p);
+  if (machine_->write_observer_ != nullptr) {
+    machine_->write_observer_->on_legitimate_write(
+        machine_->heap().offset_of(p), static_cast<std::uint32_t>(len));
+  }
 }
 
 void ThreadCtx::stage_transaction(TxnBody body, TxnDone done) {
@@ -190,7 +198,7 @@ DesMachine::DesMachine(const model::MachineConfig& config, model::HtmKind kind,
   threads_per_domain_ =
       static_cast<std::uint32_t>(num_threads / num_domains);
   for (auto& d : domains_) {
-    d.lock = heap_.alloc_isolated<std::uint64_t>(0);
+    d.lock = heap_.alloc_isolated<std::uint64_t>(0, "htm.elision-lock");
   }
   const util::Rng root(seed);
   threads_.reserve(static_cast<std::size_t>(num_threads));
@@ -234,6 +242,12 @@ HtmStats DesMachine::stats() const {
 const HtmStats& DesMachine::thread_stats(std::uint32_t tid) const {
   AAM_CHECK(tid < threads_.size());
   return threads_[tid]->stats;
+}
+
+const mem::FootprintTracker& DesMachine::thread_footprint(
+    std::uint32_t tid) const {
+  AAM_CHECK(tid < threads_.size());
+  return threads_[tid]->tracker;
 }
 
 void DesMachine::reset_clocks(double t, bool clear_stats) {
@@ -285,6 +299,9 @@ void DesMachine::schedule_callback(double t, std::function<void()> fn) {
 }
 
 void DesMachine::run() {
+  // Host-side writes made between runs (initialisation, inter-phase
+  // fixups) happen single-threaded and are sanctioned wholesale.
+  if (write_observer_ != nullptr) write_observer_->on_run_start();
   for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
   while (true) {
     while (!queue_.empty()) dispatch(queue_.pop());
@@ -605,6 +622,10 @@ std::uint64_t DesMachine::read_committed_word(std::uintptr_t addr) const {
 void DesMachine::write_committed_word(std::uintptr_t addr,
                                       std::uint64_t word) {
   std::memcpy(reinterpret_cast<void*>(addr), &word, 8);
+  if (write_observer_ != nullptr) {
+    write_observer_->on_legitimate_write(
+        heap_.offset_of(reinterpret_cast<const void*>(addr)), 8);
+  }
 }
 
 }  // namespace aam::htm

@@ -129,7 +129,7 @@ class ThreadCtx {
   /// transactions observe the write.
   template <typename T>
   void store(T& ref, T value) {
-    charge_store(reinterpret_cast<const void*>(&ref));
+    charge_store(reinterpret_cast<const void*>(&ref), sizeof(T));
     ref = value;
   }
 
@@ -144,7 +144,7 @@ class ThreadCtx {
     const bool ok = target == expect;
     if (ok) {
       target = desired;
-      commit_atomic_write(&target);
+      commit_atomic_write(&target, sizeof(T));
     }
     return ok;
   }
@@ -156,7 +156,7 @@ class ThreadCtx {
     begin_atomic(&target, /*is_cas=*/false);
     const T old = target;
     target = static_cast<T>(old + delta);
-    commit_atomic_write(&target);
+    commit_atomic_write(&target, sizeof(T));
     return old;
   }
 
@@ -171,9 +171,9 @@ class ThreadCtx {
  private:
   friend class DesMachine;
   void charge_load();
-  void charge_store(const void* p);
+  void charge_store(const void* p, std::size_t len);
   void begin_atomic(const void* p, bool is_cas);
-  void commit_atomic_write(const void* p);
+  void commit_atomic_write(const void* p, std::size_t len);
 
   DesMachine* machine_ = nullptr;
   std::uint32_t tid_ = 0;
@@ -241,6 +241,26 @@ class DesMachine {
   model::HtmKind htm_kind() const { return kind_; }
   mem::SimHeap& heap() { return heap_; }
   mem::StripeTable& stripes() { return stripes_; }
+
+  /// log2 of the HTM variant's conflict-detection granularity (64B lines
+  /// on Haswell-likes, 8B words on BG/Q). Heap offsets shifted right by
+  /// this give the conflict units used for commit validation.
+  std::uint32_t conflict_shift() const { return conflict_shift_; }
+
+  /// Registers (or clears, with nullptr) the observer notified of every
+  /// modelled write that reaches committed memory and of each run() entry.
+  /// Not owned; used by check::Checker's escaped-write detector. Costs one
+  /// predictable branch per committed write when unset.
+  void set_write_observer(mem::WriteObserver* observer) {
+    write_observer_ = observer;
+  }
+  mem::WriteObserver* write_observer() const { return write_observer_; }
+
+  /// The footprint of `tid`'s most recent transactional attempt. Valid
+  /// inside the activity's done callback (fires after commit, before the
+  /// next attempt resets it); used by check::Checker to audit declared
+  /// read/write sets against the accesses the operator actually made.
+  const mem::FootprintTracker& thread_footprint(std::uint32_t tid) const;
 
   /// Marks the conflict unit containing `p` as committed "now" in
   /// processing order: bumps the global commit stamp onto it so that
@@ -324,6 +344,8 @@ class DesMachine {
   void bump_unit(std::uint64_t unit) {
     unit_stamps_[unit] = ++commit_stamp_;
   }
+
+  mem::WriteObserver* write_observer_ = nullptr;
 
   double now_ = 0;
   std::uint64_t events_processed_ = 0;

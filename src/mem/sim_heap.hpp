@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -32,6 +34,15 @@ using LineId = std::uint64_t;
 
 class SimHeap {
  public:
+  /// One bump allocation: label (may be empty) and the covered offsets.
+  /// Checkers use the registry to turn a raw heap offset into "which array
+  /// was corrupted"; see describe().
+  struct AllocRecord {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::string label;
+  };
+
   /// Creates a heap of `bytes` capacity (rounded up to a line multiple).
   explicit SimHeap(std::size_t bytes);
 
@@ -41,12 +52,13 @@ class SimHeap {
   /// Allocates `count` default-initialized objects of trivially-copyable
   /// type T, aligned to max(alignof(T), 8). Aborts when out of capacity —
   /// a simulation with silently relocated data would be meaningless.
+  /// `label` names the allocation in checker/diagnostic output.
   template <typename T>
-  std::span<T> alloc(std::size_t count) {
+  std::span<T> alloc(std::size_t count, std::string_view label = {}) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "simulated memory holds trivially-copyable data only");
     const std::size_t align = alignof(T) < 8 ? 8 : alignof(T);
-    std::byte* p = raw_alloc(count * sizeof(T), align);
+    std::byte* p = raw_alloc(count * sizeof(T), align, label);
     T* typed = reinterpret_cast<T*>(p);
     for (std::size_t i = 0; i < count; ++i) typed[i] = T{};
     return {typed, count};
@@ -54,8 +66,8 @@ class SimHeap {
 
   /// Allocates one object, forwarding an initial value.
   template <typename T>
-  T* alloc_one(const T& init = T{}) {
-    auto s = alloc<T>(1);
+  T* alloc_one(const T& init = T{}, std::string_view label = {}) {
+    auto s = alloc<T>(1, label);
     s[0] = init;
     return s.data();
   }
@@ -63,9 +75,9 @@ class SimHeap {
   /// Allocates one object alone on its own cache line (no false sharing);
   /// used for global synchronization words such as the elision lock.
   template <typename T>
-  T* alloc_isolated(const T& init = T{}) {
+  T* alloc_isolated(const T& init = T{}, std::string_view label = {}) {
     static_assert(sizeof(T) <= kLineBytes);
-    std::byte* p = raw_alloc(kLineBytes, kLineBytes);
+    std::byte* p = raw_alloc(kLineBytes, kLineBytes, label);
     T* typed = reinterpret_cast<T*>(p);
     *typed = init;
     return typed;
@@ -91,20 +103,67 @@ class SimHeap {
                                       base_);
   }
 
+  /// Host address of an allocated heap offset (checker/tooling access).
+  std::byte* addr_of(std::uint64_t offset) {
+    AAM_DCHECK(offset < used_);
+    return base_ + offset;
+  }
+  const std::byte* addr_of(std::uint64_t offset) const {
+    AAM_DCHECK(offset < used_);
+    return base_ + offset;
+  }
+
+  /// The allocation covering `offset`, or nullptr for a gap/out-of-range
+  /// offset (alignment padding between allocations is not covered).
+  const AllocRecord* find_alloc(std::uint64_t offset) const;
+
+  /// Human-readable owner of `offset`: "label+0x<delta>" (or "alloc#<n>"
+  /// when the allocation was not labelled); "?" for uncovered offsets.
+  std::string describe(std::uint64_t offset) const;
+
+  /// All allocations in address order.
+  std::span<const AllocRecord> allocations() const { return allocs_; }
+
   std::size_t capacity_bytes() const { return capacity_; }
   std::size_t used_bytes() const { return used_; }
   std::size_t num_lines() const { return capacity_ / kLineBytes; }
 
   /// Releases all allocations (metadata in StripeTable is reset separately).
-  void reset() { used_ = 0; }
+  void reset() {
+    used_ = 0;
+    allocs_.clear();
+  }
 
  private:
-  std::byte* raw_alloc(std::size_t bytes, std::size_t align);
+  std::byte* raw_alloc(std::size_t bytes, std::size_t align,
+                       std::string_view label);
 
   std::unique_ptr<std::byte[]> storage_;
   std::byte* base_ = nullptr;
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;
+  std::vector<AllocRecord> allocs_;
+};
+
+/// Observes committed mutations of simulated memory. check::Checker (races
+/// mode) registers one on a DesMachine: every write that becomes visible
+/// through a modelled channel — plain ThreadCtx store, atomic CAS/ACC,
+/// transactional commit write-back — is reported here, so the checker can
+/// flag heap mutations that bypassed all of them (raw pointer writes that
+/// no mechanism synchronizes or accounts for).
+class WriteObserver {
+ public:
+  virtual ~WriteObserver() = default;
+
+  /// A legitimate write of `len` bytes at heap offset `offset` became
+  /// visible in committed memory.
+  virtual void on_legitimate_write(std::uint64_t offset,
+                                   std::uint32_t len) = 0;
+
+  /// The machine is (re)entering its event loop. Host-side setup writes
+  /// made since the previous run (initialisation, inter-phase fixups) are
+  /// single-threaded and therefore sanctioned wholesale.
+  virtual void on_run_start() = 0;
 };
 
 /// Per-line contention metadata for the whole heap (the atomics model).

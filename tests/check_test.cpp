@@ -1,0 +1,282 @@
+// aam::check tests: the checkers stay silent on every (algorithm,
+// mechanism, machine) combination the repo ships — and they catch the two
+// canonical operator bugs the layer exists for: a raw write that bypasses
+// core::Access (escaped write) and an operator whose committed outcome a
+// serial re-execution cannot reproduce (serializability divergence).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/st_connectivity.hpp"
+#include "check/check.hpp"
+#include "core/runtime.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+
+namespace aam {
+namespace {
+
+using model::HtmKind;
+
+check::CheckConfig all_checks() {
+  return {.races = true, .serial = true, .footprint = true};
+}
+
+std::string report_of(const check::Checker& checker) {
+  std::ostringstream out;
+  checker.report(out);
+  return out.str();
+}
+
+// ---------------------------------------------------------- config parsing
+
+TEST(CheckConfig, ParseRecognizesEveryMode) {
+  EXPECT_FALSE(check::parse_check("none")->enabled());
+  EXPECT_TRUE(check::parse_check("races")->races);
+  EXPECT_FALSE(check::parse_check("races")->serial);
+  EXPECT_TRUE(check::parse_check("serial")->serial);
+  EXPECT_TRUE(check::parse_check("footprint")->footprint);
+  const auto all = check::parse_check("all");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(all->races && all->serial && all->footprint);
+}
+
+TEST(CheckConfig, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(check::parse_check("").has_value());
+  EXPECT_FALSE(check::parse_check("race").has_value());
+  EXPECT_FALSE(check::parse_check("ALL").has_value());
+}
+
+TEST(CheckConfig, ErrorNamesFlagValueAndEveryValidSpelling) {
+  const std::string msg = check::check_error("check", "bogus");
+  EXPECT_NE(msg.find("--check"), std::string::npos);
+  EXPECT_NE(msg.find("bogus"), std::string::npos);
+  for (const char* name : {"none", "races", "serial", "footprint", "all"}) {
+    EXPECT_NE(msg.find(name), std::string::npos) << name;
+  }
+}
+
+// ------------------------------------------------------------- clean runs
+
+TEST(Checker, CleanRunPassesAndSeesBatches) {
+  mem::SimHeap heap(1 << 20);
+  htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
+  auto data = heap.alloc<std::uint64_t>(256, "data");
+  check::Checker checker(machine, all_checks());
+  core::AamRuntime rt(machine, {.batch = 8, .decorator = &checker});
+  rt.for_each(256, [&](core::Access& access, std::uint64_t i) {
+    access.fetch_add(data[i], std::uint64_t{1});
+  });
+  EXPECT_TRUE(checker.passed()) << report_of(checker);
+  EXPECT_GT(checker.batches_checked(), 0u);
+}
+
+TEST(Checker, DoesNotPerturbSimulatedTime) {
+  auto bfs_time = [](bool with_checks) {
+    util::Rng rng(7);
+    graph::KroneckerParams params;
+    params.scale = 9;
+    params.edge_factor = 4;
+    const graph::Graph g = graph::kronecker(params, rng);
+    mem::SimHeap heap(1 << 22);
+    htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 8, heap);
+    check::Checker checker(machine,
+                           with_checks ? all_checks() : check::CheckConfig{});
+    algorithms::BfsOptions options;
+    options.root = graph::pick_nonisolated_vertex(g);
+    options.batch = 8;
+    if (with_checks) options.decorator = &checker;
+    const auto r = algorithms::run_bfs(machine, g, options);
+    EXPECT_TRUE(checker.passed()) << report_of(checker);
+    return r.total_time_ns;
+  };
+  EXPECT_EQ(bfs_time(false), bfs_time(true));
+}
+
+// -------------------------------------------------------- buggy operators
+
+// A write through a raw pointer, bypassing core::Access: no mechanism
+// synchronizes it, no conflict stamp is bumped, no cost is charged. The
+// escaped-write detector must flag it and name the owning allocation.
+TEST(Checker, RacesCatchesEscapedRawWrite) {
+  mem::SimHeap heap(1 << 20);
+  htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
+  auto data = heap.alloc<std::uint64_t>(64, "buggy.data");
+  check::Checker checker(machine, {.races = true});
+  core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
+  rt.for_each(64, [&](core::Access& access, std::uint64_t i) {
+    if (i % 2 == 0) {
+      access.store(data[i], std::uint64_t{1});  // modelled: fine
+    } else {
+      data[i] = 1;  // raw escape: must be flagged
+    }
+  });
+  EXPECT_FALSE(checker.passed());
+  ASSERT_FALSE(checker.violations().empty());
+  const auto& v = checker.violations().front();
+  EXPECT_EQ(v.kind, check::Violation::Kind::kEscapedWrite);
+  EXPECT_NE(v.detail.find("buggy.data"), std::string::npos) << v.detail;
+  EXPECT_NE(report_of(checker).find("escaped-write"), std::string::npos);
+}
+
+// An operator that derives its stores from mutable host state outside the
+// Access surface: the committed outcome depends on execution order and the
+// serial re-execution cannot reproduce it.
+TEST(Checker, SerialReplayCatchesNonReplayableOperator) {
+  mem::SimHeap heap(1 << 20);
+  htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
+  auto data = heap.alloc<std::uint64_t>(64, "data");
+  check::Checker checker(machine, {.serial = true});
+  core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
+  std::uint64_t hidden_counter = 0;
+  rt.for_each(64, [&](core::Access& access, std::uint64_t i) {
+    access.store(data[i], ++hidden_counter);
+  });
+  EXPECT_FALSE(checker.passed());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_EQ(checker.violations().front().kind,
+            check::Violation::Kind::kSerialDivergence);
+}
+
+// ------------------------------------------------------ digest regression
+
+TEST(Checker, CommitDigestIsDeterministicAcrossRuns) {
+  auto digest_of = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    graph::KroneckerParams params;
+    params.scale = 9;
+    params.edge_factor = 4;
+    const graph::Graph g = graph::kronecker(params, rng);
+    mem::SimHeap heap(1 << 22);
+    htm::DesMachine machine(model::bgq(), HtmKind::kBgqShort, 16, heap, seed);
+    check::Checker checker(machine, {.footprint = true});
+    algorithms::BfsOptions options;
+    options.root = graph::pick_nonisolated_vertex(g);
+    options.batch = 16;
+    options.decorator = &checker;
+    algorithms::run_bfs(machine, g, options);
+    EXPECT_TRUE(checker.passed()) << report_of(checker);
+    EXPECT_GT(checker.batches_checked(), 0u);
+    return checker.digest();
+  };
+  const std::uint64_t first = digest_of(3);
+  EXPECT_EQ(first, digest_of(3));
+  EXPECT_NE(first, digest_of(4));  // different input -> different history
+}
+
+// ------------------------------------- acceptance sweep: everything clean
+
+graph::Vertex second_endpoint(const graph::Graph& g, graph::Vertex s) {
+  for (graph::Vertex v = g.num_vertices(); v-- > 0;) {
+    if (v != s && !g.neighbors(v).empty()) return v;
+  }
+  return s;
+}
+
+// Every §3.3 algorithm under every executor mechanism on both machine
+// models, all three checkers on. Any races/serializability/footprint bug
+// in an executor or operator formulation fails here with a full report.
+TEST(Checker, AllAlgorithmsAllMechanismsBothMachinesPassAllChecks) {
+  constexpr std::uint64_t kSeed = 1;
+  util::Rng rng(kSeed);
+  graph::KroneckerParams params;
+  params.scale = 10;
+  params.edge_factor = 4;
+  const graph::Graph g = graph::kronecker(params, rng);
+  const graph::Vertex root = graph::pick_nonisolated_vertex(g);
+  const graph::Vertex st_t = second_endpoint(g, root);
+
+  util::Rng wrng(kSeed + 1);
+  auto wedges = graph::erdos_renyi_edges(600, 0.02, wrng);
+  const auto weights =
+      graph::random_weights(wedges.size(), 1.0f, 100.0f, wrng);
+  const graph::Graph wg =
+      graph::Graph::from_weighted_edges(600, wedges, weights, true);
+
+  struct Setup {
+    const model::MachineConfig* config;
+    HtmKind kind;
+    int threads;
+  };
+  const Setup setups[] = {
+      {&model::bgq(), HtmKind::kBgqShort, 16},
+      {&model::has_c(), HtmKind::kRtm, 8},
+  };
+
+  for (const Setup& setup : setups) {
+    for (const core::Mechanism mech : core::all_mechanisms()) {
+      auto run_all = [&](htm::DesMachine& m, check::Checker& checker) {
+        {
+          algorithms::BfsOptions o;
+          o.root = root;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.decorator = &checker;
+          const auto r = algorithms::run_bfs(m, g, o);
+          ASSERT_TRUE(algorithms::validate_bfs_tree(g, root, r.parent));
+        }
+        {
+          algorithms::PageRankOptions o;
+          o.iterations = 2;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.decorator = &checker;
+          algorithms::run_pagerank(m, g, o);
+        }
+        {
+          algorithms::ColoringOptions o;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.seed = kSeed;
+          o.decorator = &checker;
+          const auto r = algorithms::run_boman_coloring(m, g, o);
+          ASSERT_TRUE(algorithms::validate_coloring(g, r.color));
+        }
+        {
+          algorithms::StConnOptions o;
+          o.s = root;
+          o.t = st_t;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.decorator = &checker;
+          algorithms::run_st_connectivity(m, g, o);
+        }
+        {
+          algorithms::SsspOptions o;
+          o.source = 0;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.decorator = &checker;
+          algorithms::run_sssp(m, wg, o);
+        }
+        {
+          algorithms::BoruvkaOptions o;
+          o.mechanism = mech;
+          o.batch = 8;
+          o.decorator = &checker;
+          algorithms::run_boruvka(m, wg, o);
+        }
+      };
+      mem::SimHeap heap(std::size_t{1} << 24);
+      htm::DesMachine machine(*setup.config, setup.kind, setup.threads, heap,
+                              kSeed);
+      check::Checker checker(machine, all_checks());
+      run_all(machine, checker);
+      EXPECT_TRUE(checker.passed())
+          << setup.config->name << "/" << core::to_string(mech) << "\n"
+          << report_of(checker);
+      EXPECT_GT(checker.batches_checked(), 0u)
+          << setup.config->name << "/" << core::to_string(mech);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aam

@@ -43,6 +43,25 @@ TEST(Mechanism, RegistryCoversFiveMechanisms) {
   EXPECT_EQ(core::all_mechanisms().size(), 5u);
 }
 
+TEST(Mechanism, NamesListsEveryMechanismCommaSeparated) {
+  const std::string names = core::mechanism_names();
+  for (const core::Mechanism m : core::all_mechanisms()) {
+    EXPECT_NE(names.find(core::to_string(m)), std::string::npos)
+        << core::to_string(m);
+  }
+  EXPECT_NE(names.find(", "), std::string::npos);
+}
+
+TEST(Mechanism, ErrorNamesFlagOffendingValueAndValidSpellings) {
+  const std::string msg = core::mechanism_error("mechanism", "hmt");
+  EXPECT_NE(msg.find("--mechanism"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("hmt"), std::string::npos) << msg;
+  for (const core::Mechanism m : core::all_mechanisms()) {
+    EXPECT_NE(msg.find(core::to_string(m)), std::string::npos)
+        << core::to_string(m);
+  }
+}
+
 // ------------------------------------------------ executor counters
 
 TEST(Executor, AtomicOpsCountsAtomicsNotTransactions) {

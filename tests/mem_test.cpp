@@ -109,6 +109,32 @@ TEST(EpochSet, SurvivesManyEpochs) {
   }
 }
 
+TEST(EpochSet, CollidingKeysProbeCorrectly) {
+  // Keys a multiple of a large power of two apart land on the same slot
+  // for any table size up to that power; every insert past the first must
+  // walk the probe chain rather than overwrite.
+  EpochSet s(4);
+  constexpr std::uint64_t kStride = std::uint64_t{1} << 32;
+  for (std::uint64_t i = 1; i <= 64; ++i) EXPECT_TRUE(s.insert(i * kStride));
+  EXPECT_EQ(s.size(), 64u);
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    EXPECT_TRUE(s.contains(i * kStride)) << i;
+    EXPECT_FALSE(s.insert(i * kStride)) << i;
+  }
+  EXPECT_FALSE(s.contains(65 * kStride));
+}
+
+TEST(EpochSet, StaleSlotsDoNotResurrectAcrossGrowAndClear) {
+  // clear() then enough inserts to grow: relocation must not carry
+  // previous-epoch keys into the new table.
+  EpochSet s(4);
+  for (std::uint64_t i = 0; i < 100; ++i) s.insert(i);
+  s.clear();
+  for (std::uint64_t i = 1000; i < 1100; ++i) EXPECT_TRUE(s.insert(i));
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(s.contains(i)) << i;
+  EXPECT_EQ(s.size(), 100u);
+}
+
 // -------------------------------------------------------------- WordMap
 
 TEST(WordMap, LookupInsertAssign) {
@@ -150,6 +176,38 @@ TEST(WordMap, GrowsAndClears) {
   m.clear();
   EXPECT_EQ(m.size(), 0u);
   EXPECT_FALSE(m.lookup(8, v));
+}
+
+TEST(WordMap, InsertionOrderSurvivesGrowth) {
+  WordMap m(4);
+  // Reverse-ordered addresses so table order != insertion order, far past
+  // the initial capacity so the table rehashes several times.
+  for (std::uintptr_t i = 0; i < 600; ++i) {
+    m.insert_or_assign((600 - i) * 8, i);
+  }
+  std::uintptr_t expect_key = 600 * 8;
+  std::uint64_t expect_val = 0;
+  m.for_each([&](std::uintptr_t k, std::uint64_t val) {
+    EXPECT_EQ(k, expect_key);
+    EXPECT_EQ(val, expect_val);
+    expect_key -= 8;
+    ++expect_val;
+  });
+  EXPECT_EQ(expect_val, 600u);
+}
+
+TEST(WordMap, ReassignAfterClearDoesNotReviveStaleEntries) {
+  WordMap m(4);
+  for (std::uintptr_t i = 0; i < 100; ++i) m.insert_or_assign(i * 8, i + 1);
+  m.clear();
+  m.insert_or_assign(0x18, 42);  // address also present before the clear
+  std::uint64_t v = 0;
+  EXPECT_TRUE(m.lookup(0x18, v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(m.size(), 1u);
+  std::size_t visited = 0;
+  m.for_each([&](std::uintptr_t, std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 1u);
 }
 
 // ----------------------------------------------------- FootprintTracker

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Determinism regression: the simulator must be a pure function of its
+# seed. Runs a bench binary twice with identical flags and diffs the full
+# stdout (tables include simulated times, which hash the entire event
+# history; with --check=footprint the checker additionally folds every
+# committed word into an FNV digest inside each run).
+#
+# Usage: determinism_check.sh <binary> [args...]
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench-binary> [args...]" >&2
+  exit 2
+fi
+
+out_a=$(mktemp)
+out_b=$(mktemp)
+trap 'rm -f "$out_a" "$out_b"' EXIT
+
+"$@" > "$out_a"
+"$@" > "$out_b"
+
+if ! diff -u "$out_a" "$out_b"; then
+  echo "determinism_check: two identical invocations diverged: $*" >&2
+  exit 1
+fi
+echo "determinism_check: identical output across two runs: $*"

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Lint: operator bodies must mutate shared state through core::Access.
+#
+# Scans every function/lambda in src/algorithms/ whose parameter list
+# takes a core::Access& and flags raw mutation syntax inside the body:
+# subscripted assignments (x[i] = v, x[i] += v, ...) and subscripted
+# increments (x[i]++, ++x[i]). Those writes bypass the synchronization
+# mechanism entirely — no conflict detection, no modelled cost — which is
+# exactly the bug class check::Checker's escaped-write detector catches at
+# runtime; this catches the obvious spellings at review time.
+#
+# Pure POSIX sh + awk (no clang tooling required). Exit 0 = clean,
+# exit 1 = violations printed one per line as file:line: code.
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+status=0
+for f in src/algorithms/*.cpp src/algorithms/*.hpp; do
+  awk '
+    # Track regions that run under an Access: from a signature line
+    # mentioning core::Access& to the close of its brace pair.
+    /core::Access&/ && region == 0 { region = 1; depth = 0; entered = 0 }
+    region == 1 {
+      line = $0
+      sub(/\/\/.*/, "", line)  # strip trailing comments
+      if (entered &&
+          (line ~ /[A-Za-z_][A-Za-z0-9_]*\[[^]]*\][ \t]*(=[^=]|\+=|-=|\*=|\/=|\|=|&=|\^=|<<=|>>=|\+\+|--)/ ||
+           line ~ /(\+\+|--)[ \t]*[A-Za-z_][A-Za-z0-9_]*\[/)) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        bad = 1
+      }
+      opens = gsub(/{/, "{", line)
+      closes = gsub(/}/, "}", line)
+      if (opens > 0) entered = 1
+      depth += opens - closes
+      if (entered && depth <= 0) region = 0
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$f" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "lint_operators: raw mutations inside core::Access operator bodies" >&2
+  echo "(route them through access.store/cas/fetch_add instead)" >&2
+fi
+exit "$status"
