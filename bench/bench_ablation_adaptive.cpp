@@ -32,7 +32,7 @@ double run_workload(const model::MachineConfig& config, model::HtmKind kind,
                       {.batch = fixed_m, .decorator = scoped.decorator()});
   core::AdaptiveBatch controller;
   if (adaptive) rt.set_adaptive(&controller);
-  rt.for_each(items, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(items, [&](auto& access, std::uint64_t i) {
     access.fetch_add(data[(i % span) * 8], std::uint64_t{1});
   });
   if (final_m != nullptr) *final_m = adaptive ? controller.batch() : fixed_m;

@@ -72,11 +72,11 @@ double run_htm_am(const Setup& setup, int num_nodes, int coalesce,
                                         .local_batch = coalesce,
                                         .decorator = scoped.decorator()});
   if (use_acc) {
-    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+    rt.set_operator([&](auto& access, std::uint64_t item) {
       access.fetch_add(visited[item * 8], std::uint64_t{1});
     });
   } else {
-    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+    rt.set_operator([&](auto& access, std::uint64_t item) {
       if (access.load(visited[item * 8]) == 0) {
         access.store(visited[item * 8], std::uint64_t{1});
       }

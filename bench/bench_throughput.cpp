@@ -1,0 +1,242 @@
+// Host wall-clock throughput harness (elements/sec per algorithm x
+// mechanism at a fixed scale).
+//
+// Unlike the figure benches, which report *simulated* time, this harness
+// measures how fast the simulator itself chews through modelled work on
+// the host — the number that bounds how large a --scale any sweep can
+// afford. Element counts are deterministic properties of the run (edges
+// scanned, relaxations, ...), so elements/sec moves only with host-side
+// cost per access: exactly the executor/footprint hot path this metric
+// exists to track. Output is JSON (schema aam-bench-wallclock-v1) so CI
+// can diff runs; tools/bench_record.sh wraps this into BENCH_wallclock.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/st_connectivity.hpp"
+#include "bench_common.hpp"
+#include "core/executor.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+
+namespace {
+
+using namespace aam;
+using Clock = std::chrono::steady_clock;
+
+struct RunOutcome {
+  std::uint64_t elements = 0;  ///< deterministic work count for the run
+  double sim_time_ns = 0;
+  htm::HtmStats stats;
+};
+
+struct Algo {
+  std::string name;
+  RunOutcome (*run)(htm::DesMachine&, const graph::Graph& g,
+                    const graph::Graph& wg, graph::Vertex root,
+                    graph::Vertex st_t, core::Mechanism, int batch,
+                    std::uint64_t seed);
+};
+
+graph::Vertex second_endpoint(const graph::Graph& g, graph::Vertex s) {
+  for (graph::Vertex v = g.num_vertices(); v-- > 0;) {
+    if (v != s && !g.neighbors(v).empty()) return v;
+  }
+  return s;
+}
+
+const std::vector<Algo> kAlgos = {
+    {"bfs",
+     [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
+        graph::Vertex root, graph::Vertex, core::Mechanism mech, int batch,
+        std::uint64_t) {
+       algorithms::BfsOptions o;
+       o.root = root;
+       o.mechanism = mech;
+       o.batch = batch;
+       const auto r = algorithms::run_bfs(m, g, o);
+       return RunOutcome{r.edges_scanned, r.total_time_ns, r.stats};
+     }},
+    {"pagerank",
+     [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
+        graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
+        std::uint64_t) {
+       algorithms::PageRankOptions o;
+       o.iterations = 3;
+       o.mechanism = mech;
+       o.batch = batch;
+       const auto r = algorithms::run_pagerank(m, g, o);
+       const std::uint64_t pushes = static_cast<std::uint64_t>(o.iterations) *
+                                    (g.num_edges() + g.num_vertices());
+       return RunOutcome{pushes, r.total_time_ns, r.stats};
+     }},
+    {"sssp",
+     [](htm::DesMachine& m, const graph::Graph&, const graph::Graph& wg,
+        graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
+        std::uint64_t) {
+       algorithms::SsspOptions o;
+       o.source = 0;
+       o.mechanism = mech;
+       o.batch = batch;
+       const auto r = algorithms::run_sssp(m, wg, o);
+       return RunOutcome{r.relaxations, r.total_time_ns, r.stats};
+     }},
+    {"coloring",
+     [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
+        graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
+        std::uint64_t seed) {
+       algorithms::ColoringOptions o;
+       o.mechanism = mech;
+       o.batch = batch;
+       o.seed = seed;
+       const auto r = algorithms::run_boman_coloring(m, g, o);
+       return RunOutcome{g.num_vertices() + r.recolor_requests,
+                         r.total_time_ns, r.stats};
+     }},
+    {"st-conn",
+     [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
+        graph::Vertex root, graph::Vertex st_t, core::Mechanism mech,
+        int batch, std::uint64_t) {
+       algorithms::StConnOptions o;
+       o.s = root;
+       o.t = st_t;
+       o.mechanism = mech;
+       o.batch = batch;
+       const auto r = algorithms::run_st_connectivity(m, g, o);
+       return RunOutcome{r.vertices_colored, r.total_time_ns, r.stats};
+     }},
+    {"boruvka",
+     [](htm::DesMachine& m, const graph::Graph&, const graph::Graph& wg,
+        graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
+        std::uint64_t) {
+       algorithms::BoruvkaOptions o;
+       o.mechanism = mech;
+       o.batch = batch;
+       const auto r = algorithms::run_boruvka(m, wg, o);
+       return RunOutcome{r.edges_in_forest, r.total_time_ns, r.stats};
+     }},
+};
+
+std::string json_escape_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 16));
+  const int edge_factor = static_cast<int>(cli.get_int("edge-factor", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int repeats = static_cast<int>(cli.get_int("repeats", 1));
+  const std::string machine_name = cli.get_string("machine", "BGQ");
+  const std::string algo_filter = cli.get_string("algorithm", "all");
+  std::vector<std::string> mech_choices = {"all"};
+  for (const auto m : core::all_mechanisms()) {
+    mech_choices.push_back(core::to_string(m));
+  }
+  const std::string only_mech =
+      cli.get_choice("mechanism", "all", mech_choices);
+  const std::string json_path = cli.get_string("json", "");
+  const int batch = static_cast<int>(cli.get_int("batch", 16));
+  int threads = static_cast<int>(cli.get_int("threads", 0));
+  cli.check_unknown();
+  AAM_CHECK(repeats >= 1);
+
+  const model::MachineConfig& config = model::machine_by_name(machine_name);
+  if (threads == 0) threads = config.max_threads();
+  const model::HtmKind kind =
+      config.name == "BGQ" ? model::HtmKind::kBgqShort : model::HtmKind::kRtm;
+
+  // Shared inputs: a Kronecker graph for the traversal algorithms and a
+  // smaller weighted graph for SSSP/Boruvka (matching the ablation bench).
+  util::Rng rng(seed);
+  graph::KroneckerParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  const graph::Graph g = graph::kronecker(params, rng);
+  const graph::Vertex root = graph::pick_nonisolated_vertex(g);
+  const graph::Vertex st_t = second_endpoint(g, root);
+
+  util::Rng wrng(seed + 1);
+  auto wedges = graph::erdos_renyi_edges(1500, 0.01, wrng);
+  const auto weights =
+      graph::random_weights(wedges.size(), 1.0f, 100.0f, wrng);
+  const graph::Graph wg =
+      graph::Graph::from_weighted_edges(1500, wedges, weights, true);
+
+  // Heap sized for the Kronecker graph state at this scale.
+  const std::size_t heap_bytes =
+      (std::size_t{1} << 20) * 16 +
+      static_cast<std::size_t>(g.num_vertices()) * 64;
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"aam-bench-wallclock-v1\",\n";
+  json += "  \"scale\": " + std::to_string(scale) + ",\n";
+  json += "  \"edge_factor\": " + std::to_string(edge_factor) + ",\n";
+  json += "  \"machine\": \"" + config.name + "\",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"batch\": " + std::to_string(batch) + ",\n";
+  json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+  json += "  \"results\": [\n";
+
+  bool first = true;
+  std::printf("%-10s %-12s %14s %12s %14s\n", "algorithm", "mechanism",
+              "elements", "wall ms", "elems/sec");
+  for (const Algo& algo : kAlgos) {
+    if (algo_filter != "all" && algo_filter != algo.name) continue;
+    for (const core::Mechanism mech : core::all_mechanisms()) {
+      if (only_mech != "all" && only_mech != core::to_string(mech)) continue;
+      double best_seconds = 0;
+      RunOutcome out;
+      for (int rep = 0; rep < repeats; ++rep) {
+        mem::SimHeap heap(heap_bytes);
+        htm::DesMachine machine(config, kind, threads, heap, seed);
+        const auto t0 = Clock::now();
+        out = algo.run(machine, g, wg, root, st_t, mech, batch, seed);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      }
+      const double rate =
+          best_seconds > 0 ? static_cast<double>(out.elements) / best_seconds
+                           : 0;
+      std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", algo.name.c_str(),
+                  core::to_string(mech),
+                  static_cast<unsigned long long>(out.elements),
+                  best_seconds * 1e3, rate);
+      if (!first) json += ",\n";
+      first = false;
+      json += "    {\"algorithm\": \"" + algo.name + "\", \"mechanism\": \"" +
+              core::to_string(mech) + "\", \"elements\": " +
+              std::to_string(out.elements) + ", \"wall_seconds\": " +
+              json_escape_double(best_seconds) + ", \"elements_per_sec\": " +
+              json_escape_double(rate) + ", \"sim_time_ns\": " +
+              json_escape_double(out.sim_time_ns) + ", \"commits\": " +
+              std::to_string(out.stats.committed) + ", \"aborts\": " +
+              std::to_string(out.stats.total_aborts()) + "}";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    AAM_CHECK_MSG(f != nullptr, "cannot open --json output path");
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("(json written to %s)\n", json_path.c_str());
+  } else {
+    std::printf("\n%s", json.c_str());
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algorithms/operators.hpp"
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "graph/gstats.hpp"
 #include "util/check.hpp"
@@ -123,9 +124,9 @@ class BfsWorker : public htm::Worker {
       batch_.push_back(c);
     }
     if (batch_.empty()) return;
-    state_.executor->execute(
-        ctx, batch_.size(),
-        [this](core::Access& access, std::uint64_t i) {
+    core::execute_batch(
+        *state_.executor, ctx, batch_.size(),
+        [this](auto& access, std::uint64_t i) {
           const Candidate& c = batch_[i];
           if (ops::bfs_visit(access, state_.parent, c.vertex, c.parent)) {
             access.emit(c.vertex);

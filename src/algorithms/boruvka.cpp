@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "algorithms/operators.hpp"
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 
@@ -112,9 +113,9 @@ class BoruvkaWorker : public htm::Worker {
                   state_.merges.begin() + static_cast<std::ptrdiff_t>(end));
     // A merge that won emits its 1-based batch index; anything missing
     // from the results lost the race (MF) and is reported as failed.
-    state_.executor->execute(
-        ctx, batch_.size(),
-        [this](core::Access& access, std::uint64_t i) {
+    core::execute_batch(
+        *state_.executor, ctx, batch_.size(),
+        [this](auto& access, std::uint64_t i) {
           const MergeEdge& m = batch_[i];
           if (ops::uf_union(access, state_.parent, m.u, m.v)) {
             access.emit(i + 1);

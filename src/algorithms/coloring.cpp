@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -90,9 +91,9 @@ class ColorWorker : public htm::Worker {
     for (std::size_t i = 0; i < batch_.size(); ++i) {
       coins_.push_back(rng_.next_bool(0.5));
     }
-    state_.executor->execute(
-        ctx, batch_.size(),
-        [this](core::Access& access, std::uint64_t i) {
+    core::execute_batch(
+        *state_.executor, ctx, batch_.size(),
+        [this](auto& access, std::uint64_t i) {
           const Tentative t = batch_[i];
           access.store(state_.color[t.vertex], t.color);
           // Listing 7: any neighbors already holding this color? Every

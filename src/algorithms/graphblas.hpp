@@ -82,7 +82,7 @@ void vxm(htm::DesMachine& machine, const graph::Graph& graph,
   core::AamRuntime runtime(machine, {.batch = options.batch,
                                      .mechanism = options.mechanism,
                                      .decorator = options.decorator});
-  runtime.for_each(graph.num_vertices(), [&](core::Access& access,
+  runtime.for_each(graph.num_vertices(), [&](auto& access,
                                              std::uint64_t item) {
     const auto v = static_cast<graph::Vertex>(item);
     const Scalar xv = in[v];
@@ -109,7 +109,7 @@ void ewise_add(htm::DesMachine& machine,
                std::span<typename Semiring::Scalar> out, int batch = 64) {
   AAM_CHECK(in.size() == out.size());
   core::AamRuntime runtime(machine, {.batch = batch});
-  runtime.for_each(out.size(), [&](core::Access& access, std::uint64_t i) {
+  runtime.for_each(out.size(), [&](auto& access, std::uint64_t i) {
     access.store(out[i], Semiring::add(access.load(out[i]), in[i]));
   });
 }

@@ -3,10 +3,13 @@
 // Mechanism-neutral operator formulations (§3.3).
 //
 // Each function is one single-element operator body from the paper's
-// listings, written against core::Access so the same code runs under every
-// ActivityExecutor — coarse HTM transactions, per-item atomics, fine locks,
-// the global serial lock, and the software TM (both in the simulator and
-// on real threads via StmAccess, see algorithms/threaded.cpp).
+// listings, templated over the access surface so the same code runs under
+// every ActivityExecutor — coarse HTM transactions, per-item atomics, fine
+// locks, the global serial lock, and the software TM (both in the
+// simulator and on real threads via StmAccess, see algorithms/threaded.cpp).
+// Instantiations: the non-virtual fast-path access types of
+// executor_impl.hpp under devirtualized dispatch, and the virtual
+// core::Access seam when a check:: decorator is interposed.
 
 #include <algorithm>
 #include <cstdint>
@@ -20,17 +23,19 @@ namespace aam::algorithms::ops {
 /// BFS visit (Listing 4): claim w for parent u. Returns true when this
 /// activity won the vertex. FF & MF: losing the race is an algorithm-level
 /// May-Fail, not a hardware abort.
-inline bool bfs_visit(core::Access& a, std::span<graph::Vertex> parent,
-                      graph::Vertex w, graph::Vertex u) {
+template <typename Acc>
+bool bfs_visit(Acc& a, std::span<graph::Vertex> parent, graph::Vertex w,
+               graph::Vertex u) {
   return a.cas(parent[w], graph::kInvalidVertex, u);
 }
 
 /// PageRank push (Listing 3), FF & AS: vertex v adds its base rank and
 /// pushes a damped share of its stale rank onto each neighbor.
-inline void pagerank_push(core::Access& a, const graph::Graph& g,
-                          std::span<const double> old_rank,
-                          std::span<double> new_rank, graph::Vertex v,
-                          double base, double damping) {
+template <typename Acc>
+void pagerank_push(Acc& a, const graph::Graph& g,
+                   std::span<const double> old_rank,
+                   std::span<double> new_rank, graph::Vertex v, double base,
+                   double damping) {
   a.fetch_add(new_rank[v], base);
   const auto nbrs = g.neighbors(v);
   if (nbrs.empty()) return;
@@ -43,8 +48,9 @@ inline void pagerank_push(core::Access& a, const graph::Graph& g,
 /// Returns true when the distance improved. The retry loop only matters
 /// for non-transactional executors; under a transaction the first CAS
 /// succeeds or the candidate is stale.
-inline bool sssp_relax(core::Access& a, std::span<double> distance,
-                       graph::Vertex v, double candidate) {
+template <typename Acc>
+bool sssp_relax(Acc& a, std::span<double> distance, graph::Vertex v,
+                double candidate) {
   for (;;) {
     const double current = a.load(distance[v]);
     if (current <= candidate) return false;
@@ -55,8 +61,9 @@ inline bool sssp_relax(core::Access& a, std::span<double> distance,
 /// Union-find root walk with mechanism-modelled per-hop loads (no path
 /// compression: keeps the chains identical to what a transactional variant
 /// re-reads).
-inline graph::Vertex uf_root(core::Access& a, std::span<graph::Vertex> parent,
-                             graph::Vertex v) {
+template <typename Acc>
+graph::Vertex uf_root(Acc& a, std::span<graph::Vertex> parent,
+                      graph::Vertex v) {
   graph::Vertex r = v;
   for (;;) {
     const graph::Vertex p = a.load(parent[r]);
@@ -68,8 +75,9 @@ inline graph::Vertex uf_root(core::Access& a, std::span<graph::Vertex> parent,
 /// Boruvka merge (Listing 5 shape), FR & MF: link the components of u and
 /// v with a deterministic orientation (larger root under smaller). Returns
 /// false when the components were already united by a concurrent activity.
-inline bool uf_union(core::Access& a, std::span<graph::Vertex> parent,
-                     graph::Vertex u, graph::Vertex v) {
+template <typename Acc>
+bool uf_union(Acc& a, std::span<graph::Vertex> parent, graph::Vertex u,
+              graph::Vertex v) {
   for (;;) {
     const graph::Vertex ru = uf_root(a, parent, u);
     const graph::Vertex rv = uf_root(a, parent, v);

@@ -31,7 +31,7 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
     // The Listing 3 operator, executed for every vertex in coarse
     // activities of M (FF & AS). Under kAtomicOps the pushes are
     // fetch-and-accumulates — the paper's ACC formulation.
-    runtime.for_each(n, [&](core::Access& access, std::uint64_t item) {
+    runtime.for_each(n, [&](auto& access, std::uint64_t item) {
       ops::pagerank_push(access, graph, old_rank, new_rank,
                          static_cast<Vertex>(item), base, d);
     });

@@ -124,7 +124,7 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
         },
         options.pbgl_item_overhead_ns);
   } else {
-    rt.set_operator([&](core::Access& access, std::uint64_t item) {
+    rt.set_operator([&](auto& access, std::uint64_t item) {
       access.fetch_add(new_rank[unpack_vertex(item)],
                        static_cast<double>(unpack_contribution(item)));
     });

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "algorithms/operators.hpp"
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 
@@ -85,9 +86,9 @@ class SsspWorker : public htm::Worker {
     batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
                   pending_.end());
     pending_.resize(pending_.size() - count);
-    state_.executor->execute(
-        ctx, batch_.size(),
-        [this](core::Access& access, std::uint64_t i) {
+    core::execute_batch(
+        *state_.executor, ctx, batch_.size(),
+        [this](auto& access, std::uint64_t i) {
           const Relax& r = batch_[i];
           if (ops::sssp_relax(access, state_.distance, r.vertex, r.distance)) {
             access.emit(r.vertex);

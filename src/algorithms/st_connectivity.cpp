@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
 
@@ -89,9 +90,9 @@ class StWorker : public htm::Worker {
     batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
                   pending_.end());
     pending_.resize(pending_.size() - count);
-    state_.executor->execute(
-        ctx, batch_.size(),
-        [this](core::Access& access, std::uint64_t i) {
+    core::execute_batch(
+        *state_.executor, ctx, batch_.size(),
+        [this](auto& access, std::uint64_t i) {
           const Candidate& c = batch_[i];
           const std::uint32_t cur = access.load(state_.color[c.vertex]);
           if (cur != kWhite && cur != c.color) {

@@ -18,8 +18,8 @@ DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
       [this](htm::ThreadCtx&, const net::Message& msg) {
         Batch b;
         b.items = msg.payload;
-        b.reply_node = op_fr_ ? msg.src_node : -1;
-        // (op_plain_ batches carry no reply.)
+        b.reply_node = mode_ == Mode::kFr ? msg.src_node : -1;
+        // (plain batches carry no reply.)
         enqueue_batch(msg.dst_node, std::move(b));
       });
 
@@ -40,26 +40,12 @@ DistributedRuntime::DistributedRuntime(net::Cluster& cluster, Options options)
   pending_sharded_.resize(static_cast<std::size_t>(threads));
 }
 
-void DistributedRuntime::set_operator(ItemOp op) {
-  op_ff_ = std::move(op);
-  op_fr_ = nullptr;
-  op_plain_ = nullptr;
-  on_result_ = nullptr;
-}
-
-void DistributedRuntime::set_operator_fr(ItemOpFr op, FailureHandler on_result) {
-  op_fr_ = std::move(op);
-  on_result_ = std::move(on_result);
-  op_ff_ = nullptr;
-  op_plain_ = nullptr;
-}
-
 void DistributedRuntime::set_operator_plain(ItemOpPlain op,
                                             double per_item_overhead_ns) {
+  mode_ = Mode::kPlain;
   op_plain_ = std::move(op);
   plain_overhead_ns_ = per_item_overhead_ns;
-  op_ff_ = nullptr;
-  op_fr_ = nullptr;
+  exec_fn_ = nullptr;
   on_result_ = nullptr;
 }
 
@@ -95,7 +81,7 @@ void DistributedRuntime::enqueue_local(int node,
                                        std::vector<std::uint64_t> items) {
   Batch b;
   b.items = std::move(items);
-  b.reply_node = op_fr_ ? node : -1;
+  b.reply_node = mode_ == Mode::kFr ? node : -1;
   enqueue_batch(node, std::move(b));
 }
 
@@ -147,12 +133,11 @@ bool DistributedRuntime::progress(htm::ThreadCtx& ctx) {
 }
 
 void DistributedRuntime::stage_batch(htm::ThreadCtx& ctx, Batch batch) {
-  AAM_CHECK_MSG(op_ff_ || op_fr_ || op_plain_, "no operator registered");
-  const std::size_t n = batch.items.size();
-  items_executed_ += n;
+  AAM_CHECK_MSG(mode_ != Mode::kNone, "no operator registered");
+  items_executed_ += batch.items.size();
   ++batches_executed_;
 
-  if (op_plain_) {
+  if (mode_ == Mode::kPlain) {
     // Per-item application with the baseline's software overhead; no
     // transaction, no coarsening.
     for (std::uint64_t item : batch.items) {
@@ -162,38 +147,21 @@ void DistributedRuntime::stage_batch(htm::ThreadCtx& ctx, Batch batch) {
     return;
   }
 
-  if (op_ff_) {
-    // One coarse activity per batch (coalesced, §5.6), applied under the
-    // configured mechanism.
-    executor_->execute(ctx, n,
-                       [this, items = std::move(batch.items)](
-                           Access& access, std::uint64_t i) {
-                         op_ff_(access, items[i]);
-                       });
-    return;
-  }
+  // FF/FR: the registered ExecFn owns the operator and runs the batch
+  // through the executor (see the templated setters in the header).
+  exec_fn_(ctx, std::move(batch));
+}
 
-  // FR: non-zero per-item results are emitted through the executor (which
-  // keeps them re-execution-safe) and flow back to the spawner.
-  const int reply_node = batch.reply_node;
-  executor_->execute(
-      ctx, n,
-      [this, items = std::move(batch.items)](Access& access, std::uint64_t i) {
-        const std::uint64_t r = op_fr_(access, items[i]);
-        if (r != 0) access.emit(r);
-      },
-      [this, reply_node](htm::ThreadCtx& done_ctx,
-                         std::span<const std::uint64_t> results) {
-        if (results.empty()) return;
-        const int my_node = cluster_.node_of_thread(done_ctx.thread_id());
-        if (reply_node == my_node) {
-          for (std::uint64_t r : results) on_result_(done_ctx, r);
-        } else {
-          cluster_.send(done_ctx, reply_node, reply_handler_, 0, 0,
-                        std::vector<std::uint64_t>(results.begin(),
-                                                   results.end()));
-        }
-      });
+void DistributedRuntime::reply(htm::ThreadCtx& ctx, int reply_node,
+                               std::span<const std::uint64_t> results) {
+  if (results.empty()) return;
+  const int my_node = cluster_.node_of_thread(ctx.thread_id());
+  if (reply_node == my_node) {
+    for (std::uint64_t r : results) on_result_(ctx, r);
+  } else {
+    cluster_.send(ctx, reply_node, reply_handler_, 0, 0,
+                  std::vector<std::uint64_t>(results.begin(), results.end()));
+  }
 }
 
 bool DistributedRuntime::drained() const {

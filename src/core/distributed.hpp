@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/executor_impl.hpp"
 #include "core/taxonomy.hpp"
 #include "net/cluster.hpp"
 
@@ -48,7 +49,8 @@ class DistributedRuntime {
   void set_sharding(ShardFn shard) { shard_ = std::move(shard); }
 
   /// FF operator: modifies elements through the executor's Access surface,
-  /// returns nothing.
+  /// returns nothing. (Legacy alias — the setters are templated and the
+  /// runtime type-erases per *batch*, not per item.)
   using ItemOp = std::function<void(Access&, std::uint64_t item)>;
   /// FR operator: returns 0 for "nothing to report" or a non-zero result
   /// that flows back to the spawner's failure handler.
@@ -58,11 +60,58 @@ class DistributedRuntime {
 
   DistributedRuntime(net::Cluster& cluster, Options options);
 
-  /// Configure as Fire-and-Forget (PageRank, BFS styles).
-  void set_operator(ItemOp op);
+  /// Configure as Fire-and-Forget (PageRank, BFS styles). The operator
+  /// must be generic over the access type (`[](auto& access, item)`): it
+  /// is instantiated against the concrete executor's access type on the
+  /// fast path and against core::Access under a check decorator.
+  template <typename Op>
+  void set_operator(Op op) {
+    mode_ = Mode::kFf;
+    on_result_ = nullptr;
+    op_plain_ = nullptr;
+    exec_fn_ = [this, op = std::move(op)](htm::ThreadCtx& ctx,
+                                          Batch batch) mutable {
+      // One coarse activity per batch (coalesced, §5.6), applied under
+      // the configured mechanism. The count must be read before the
+      // move-capture below empties batch.items (function arguments are
+      // unsequenced relative to each other).
+      const std::uint64_t n = batch.items.size();
+      execute_batch(*executor_, ctx, n,
+                    [&op, items = std::move(batch.items)](
+                        auto& access, std::uint64_t i) {
+                      op(access, items[i]);
+                    });
+    };
+  }
+
   /// Configure as Fire-and-Return with a failure handler (ST connectivity,
-  /// coloring, Boruvka styles).
-  void set_operator_fr(ItemOpFr op, FailureHandler on_result);
+  /// coloring, Boruvka styles). Same genericity requirement as
+  /// set_operator; the handler stays type-erased (rare, per-result).
+  template <typename Op>
+  void set_operator_fr(Op op, FailureHandler on_result) {
+    mode_ = Mode::kFr;
+    on_result_ = std::move(on_result);
+    op_plain_ = nullptr;
+    exec_fn_ = [this, op = std::move(op)](htm::ThreadCtx& ctx,
+                                          Batch batch) mutable {
+      // Non-zero per-item results are emitted through the executor (which
+      // keeps them re-execution-safe) and flow back to the spawner. The
+      // count must be read before the move-capture empties batch.items.
+      const int reply_node = batch.reply_node;
+      const std::uint64_t n = batch.items.size();
+      execute_batch(
+          *executor_, ctx, n,
+          [&op, items = std::move(batch.items)](auto& access,
+                                                std::uint64_t i) {
+            const std::uint64_t r = op(access, items[i]);
+            if (r != 0) access.emit(r);
+          },
+          [this, reply_node](htm::ThreadCtx& done_ctx,
+                             std::span<const std::uint64_t> results) {
+            reply(done_ctx, reply_node, results);
+          });
+    };
+  }
 
   /// Non-transactional apply path: items are applied with per-item plain /
   /// atomic operations on the receiving thread instead of a coarse
@@ -122,14 +171,25 @@ class DistributedRuntime {
     int reply_node = -1;  ///< for FR: where results go (-1: local batch)
   };
 
+  enum class Mode { kNone, kFf, kFr, kPlain };
+
+  /// Batch-granular type erasure: owns the registered operator and runs
+  /// one pending Batch through the executor. Alive as long as the
+  /// registration, so transactions staged against it never dangle.
+  using ExecFn = std::function<void(htm::ThreadCtx&, Batch)>;
+
   void stage_batch(htm::ThreadCtx& ctx, Batch batch);
   void enqueue_local(int node, std::vector<std::uint64_t> items);
+  /// Routes committed FR results to `reply_node` (runs the failure
+  /// handler locally or sends a reply message).
+  void reply(htm::ThreadCtx& ctx, int reply_node,
+             std::span<const std::uint64_t> results);
 
   net::Cluster& cluster_;
   Options options_;
   std::unique_ptr<ActivityExecutor> executor_;
-  ItemOp op_ff_;
-  ItemOpFr op_fr_;
+  Mode mode_ = Mode::kNone;
+  ExecFn exec_fn_;
   ItemOpPlain op_plain_;
   double plain_overhead_ns_ = 0.0;
   FailureHandler on_result_;

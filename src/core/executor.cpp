@@ -1,12 +1,11 @@
 #include "core/executor.hpp"
 
-#include <bit>
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/executor_impl.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 
 namespace aam::core {
 
@@ -15,519 +14,6 @@ namespace {
 constexpr Mechanism kAllMechanisms[] = {
     Mechanism::kHtmCoarsened, Mechanism::kAtomicOps, Mechanism::kFineLocks,
     Mechanism::kSerialLock, Mechanism::kStm,
-};
-
-// --------------------------------------------------------------------------
-// Access adapters.
-// --------------------------------------------------------------------------
-
-/// Transactional accesses through the DES HTM engine.
-class TxnAccess final : public Access {
- public:
-  TxnAccess(htm::Txn& tx, std::vector<std::uint64_t>* results)
-      : Access(results), tx_(tx) {}
-
-  std::uint32_t load(const std::uint32_t& ref) override { return tx_.load(ref); }
-  std::uint64_t load(const std::uint64_t& ref) override { return tx_.load(ref); }
-  double load(const double& ref) override { return tx_.load(ref); }
-  void store(std::uint32_t& ref, std::uint32_t value) override {
-    tx_.store(ref, value);
-  }
-  void store(std::uint64_t& ref, std::uint64_t value) override {
-    tx_.store(ref, value);
-  }
-  void store(double& ref, double value) override { tx_.store(ref, value); }
-  bool cas(std::uint32_t& ref, std::uint32_t expect,
-           std::uint32_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(std::uint64_t& ref, std::uint64_t expect,
-           std::uint64_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(double& ref, double expect, double desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
-    return tx_.fetch_add(ref, delta);
-  }
-  double fetch_add(double& ref, double delta) override {
-    return tx_.fetch_add(ref, delta);
-  }
-  bool transactional() const override { return true; }
-
- private:
-  // Inside a transaction CAS needs no hardware atomic: a load + store pair
-  // is atomic by isolation (the §4.2 point that coarse transactions remove
-  // fine-grained synchronization from the operator bodies).
-  template <typename T>
-  bool cas_impl(T& ref, T expect, T desired) {
-    if (tx_.load(ref) != expect) return false;
-    tx_.store(ref, desired);
-    return true;
-  }
-
-  htm::Txn& tx_;
-};
-
-/// Hardware atomics (CAS/ACC) per guarded update; plain loads/stores.
-class AtomicAccess final : public Access {
- public:
-  AtomicAccess(htm::ThreadCtx& ctx, std::vector<std::uint64_t>* results)
-      : Access(results), ctx_(ctx) {}
-
-  std::uint32_t load(const std::uint32_t& ref) override { return ctx_.load(ref); }
-  std::uint64_t load(const std::uint64_t& ref) override { return ctx_.load(ref); }
-  double load(const double& ref) override { return ctx_.load(ref); }
-  void store(std::uint32_t& ref, std::uint32_t value) override {
-    ctx_.store(ref, value);
-  }
-  void store(std::uint64_t& ref, std::uint64_t value) override {
-    ctx_.store(ref, value);
-  }
-  void store(double& ref, double value) override { ctx_.store(ref, value); }
-  bool cas(std::uint32_t& ref, std::uint32_t expect,
-           std::uint32_t desired) override {
-    return ctx_.cas(ref, expect, desired);
-  }
-  bool cas(std::uint64_t& ref, std::uint64_t expect,
-           std::uint64_t desired) override {
-    return ctx_.cas(ref, expect, desired);
-  }
-  bool cas(double& ref, double expect, double desired) override {
-    return ctx_.cas(ref, expect, desired);
-  }
-  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
-    return ctx_.fetch_add(ref, delta);
-  }
-  double fetch_add(double& ref, double delta) override {
-    return ctx_.fetch_add(ref, delta);
-  }
-  bool transactional() const override { return false; }
-
- private:
-  htm::ThreadCtx& ctx_;
-};
-
-/// Striped per-element spinlocks around every guarded update. Within one
-/// DES dispatch no other thread runs, so a lock acquired and released in
-/// the same next() never actually spins: its cost is the modelled CAS on
-/// the lock word (plus line contention), exactly like the previous
-/// hand-rolled fine-lock BFS path.
-class FineLockAccess final : public Access {
- public:
-  FineLockAccess(htm::ThreadCtx& ctx, const mem::SimHeap& heap,
-                 std::span<std::uint32_t> locks,
-                 std::vector<std::uint64_t>* results)
-      : Access(results), ctx_(ctx), heap_(heap), locks_(locks) {}
-
-  std::uint32_t load(const std::uint32_t& ref) override { return ctx_.load(ref); }
-  std::uint64_t load(const std::uint64_t& ref) override { return ctx_.load(ref); }
-  double load(const double& ref) override { return ctx_.load(ref); }
-  void store(std::uint32_t& ref, std::uint32_t value) override {
-    store_impl(ref, value);
-  }
-  void store(std::uint64_t& ref, std::uint64_t value) override {
-    store_impl(ref, value);
-  }
-  void store(double& ref, double value) override { store_impl(ref, value); }
-  bool cas(std::uint32_t& ref, std::uint32_t expect,
-           std::uint32_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(std::uint64_t& ref, std::uint64_t expect,
-           std::uint64_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(double& ref, double expect, double desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
-    return fetch_add_impl(ref, delta);
-  }
-  double fetch_add(double& ref, double delta) override {
-    return fetch_add_impl(ref, delta);
-  }
-  bool transactional() const override { return false; }
-
- private:
-  std::uint32_t& lock_of(const void* p) {
-    // Hash the heap offset, not the host address: host addresses change
-    // run to run (ASLR) and would break bit-reproducibility.
-    return locks_[util::mix64(heap_.offset_of(p) >> 2) & (locks_.size() - 1)];
-  }
-  void acquire(const void* p) {
-    std::uint32_t& lock = lock_of(p);
-    while (!ctx_.cas(lock, 0u, 1u)) {
-    }
-  }
-  void release(const void* p) { ctx_.store(lock_of(p), 0u); }
-
-  template <typename T>
-  void store_impl(T& ref, T value) {
-    acquire(&ref);
-    ctx_.store(ref, value);
-    release(&ref);
-  }
-  template <typename T>
-  bool cas_impl(T& ref, T expect, T desired) {
-    acquire(&ref);
-    const bool ok = ctx_.load(ref) == expect;
-    if (ok) ctx_.store(ref, desired);
-    release(&ref);
-    return ok;
-  }
-  template <typename T>
-  T fetch_add_impl(T& ref, T delta) {
-    acquire(&ref);
-    const T old = ctx_.load(ref);
-    ctx_.store(ref, static_cast<T>(old + delta));
-    release(&ref);
-    return old;
-  }
-
-  htm::ThreadCtx& ctx_;
-  const mem::SimHeap& heap_;
-  std::span<std::uint32_t> locks_;
-};
-
-/// Plain accesses: correct only under external mutual exclusion (the
-/// serial-lock executor holds the global lock around the whole batch).
-class PlainAccess final : public Access {
- public:
-  PlainAccess(htm::ThreadCtx& ctx, std::vector<std::uint64_t>* results)
-      : Access(results), ctx_(ctx) {}
-
-  std::uint32_t load(const std::uint32_t& ref) override { return ctx_.load(ref); }
-  std::uint64_t load(const std::uint64_t& ref) override { return ctx_.load(ref); }
-  double load(const double& ref) override { return ctx_.load(ref); }
-  void store(std::uint32_t& ref, std::uint32_t value) override {
-    ctx_.store(ref, value);
-  }
-  void store(std::uint64_t& ref, std::uint64_t value) override {
-    ctx_.store(ref, value);
-  }
-  void store(double& ref, double value) override { ctx_.store(ref, value); }
-  bool cas(std::uint32_t& ref, std::uint32_t expect,
-           std::uint32_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(std::uint64_t& ref, std::uint64_t expect,
-           std::uint64_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(double& ref, double expect, double desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
-    return fetch_add_impl(ref, delta);
-  }
-  double fetch_add(double& ref, double delta) override {
-    return fetch_add_impl(ref, delta);
-  }
-  bool transactional() const override { return false; }
-
- private:
-  template <typename T>
-  bool cas_impl(T& ref, T expect, T desired) {
-    const bool ok = ctx_.load(ref) == expect;
-    if (ok) ctx_.store(ref, desired);
-    return ok;
-  }
-  template <typename T>
-  T fetch_add_impl(T& ref, T delta) {
-    const T old = ctx_.load(ref);
-    ctx_.store(ref, static_cast<T>(old + delta));
-    return old;
-  }
-
-  htm::ThreadCtx& ctx_;
-};
-
-/// Forwards to StmAccess while counting loads and recording written
-/// addresses for the cost model (the write set drives the commit-time
-/// orec locking replayed against the DES machine).
-class CountingStmAccess final : public Access {
- public:
-  CountingStmAccess(htm::StmTxn& tx, std::vector<std::uint64_t>* results,
-                    std::uint64_t& loads, std::vector<const void*>& writes)
-      : Access(results), inner_(tx, results), loads_(loads), writes_(writes) {}
-
-  std::uint32_t load(const std::uint32_t& ref) override {
-    ++loads_;
-    return inner_.load(ref);
-  }
-  std::uint64_t load(const std::uint64_t& ref) override {
-    ++loads_;
-    return inner_.load(ref);
-  }
-  double load(const double& ref) override {
-    ++loads_;
-    return inner_.load(ref);
-  }
-  void store(std::uint32_t& ref, std::uint32_t value) override {
-    writes_.push_back(&ref);
-    inner_.store(ref, value);
-  }
-  void store(std::uint64_t& ref, std::uint64_t value) override {
-    writes_.push_back(&ref);
-    inner_.store(ref, value);
-  }
-  void store(double& ref, double value) override {
-    writes_.push_back(&ref);
-    inner_.store(ref, value);
-  }
-  bool cas(std::uint32_t& ref, std::uint32_t expect,
-           std::uint32_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(std::uint64_t& ref, std::uint64_t expect,
-           std::uint64_t desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  bool cas(double& ref, double expect, double desired) override {
-    return cas_impl(ref, expect, desired);
-  }
-  std::uint64_t fetch_add(std::uint64_t& ref, std::uint64_t delta) override {
-    ++loads_;
-    writes_.push_back(&ref);
-    return inner_.fetch_add(ref, delta);
-  }
-  double fetch_add(double& ref, double delta) override {
-    ++loads_;
-    writes_.push_back(&ref);
-    return inner_.fetch_add(ref, delta);
-  }
-  bool transactional() const override { return true; }
-
- private:
-  template <typename T>
-  bool cas_impl(T& ref, T expect, T desired) {
-    ++loads_;
-    const bool ok = inner_.cas(ref, expect, desired);
-    if (ok) writes_.push_back(&ref);
-    return ok;
-  }
-
-  StmAccess inner_;
-  std::uint64_t& loads_;
-  std::vector<const void*>& writes_;
-};
-
-// --------------------------------------------------------------------------
-// Executors.
-// --------------------------------------------------------------------------
-
-/// Per-thread emission staging shared by all executors.
-class StagedExecutor : public ActivityExecutor {
- protected:
-  StagedExecutor(htm::DesMachine& machine, int batch)
-      : ActivityExecutor(batch),
-        staging_(static_cast<std::size_t>(machine.num_threads())) {}
-
-  std::vector<std::uint64_t>& staging(htm::ThreadCtx& ctx) {
-    return staging_[ctx.thread_id()];
-  }
-
- private:
-  std::vector<std::vector<std::uint64_t>> staging_;
-};
-
-class HtmCoarsenedExecutor final : public StagedExecutor {
- public:
-  HtmCoarsenedExecutor(htm::DesMachine& machine, int batch)
-      : StagedExecutor(machine, batch) {}
-
-  Mechanism mechanism() const override { return Mechanism::kHtmCoarsened; }
-
-  int preferred_batch() const override {
-    return adaptive_ ? adaptive_->batch() : batch_;
-  }
-
-  void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
-    auto& stage = staging(ctx);
-    if (count == 0) {
-      stage.clear();
-      if (done) done(ctx, stage);
-      return;
-    }
-    // One coarse activity: `count` operators in a single transaction
-    // (§4.2, Listing 8). The body may re-execute on retries, so emissions
-    // restage from scratch each attempt; `done` sees the committed set.
-    ctx.stage_transaction(
-        [this, &stage, op, count](htm::Txn& tx) {
-          stage.clear();
-          TxnAccess access(tx, &stage);
-          for (std::uint64_t i = 0; i < count; ++i) op(access, i);
-        },
-        [this, &stage, done = std::move(done)](htm::ThreadCtx& done_ctx,
-                                               const htm::TxnOutcome& outcome) {
-          if (adaptive_ != nullptr) adaptive_->record(outcome);
-          if (done) done(done_ctx, stage);
-          stage.clear();
-        });
-  }
-};
-
-class AtomicOpsExecutor final : public StagedExecutor {
- public:
-  AtomicOpsExecutor(htm::DesMachine& machine, int batch)
-      : StagedExecutor(machine, batch) {}
-
-  Mechanism mechanism() const override { return Mechanism::kAtomicOps; }
-
-  void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
-    auto& stage = staging(ctx);
-    stage.clear();
-    AtomicAccess access(ctx, &stage);
-    for (std::uint64_t i = 0; i < count; ++i) op(access, i);
-    if (done) done(ctx, stage);
-    stage.clear();
-  }
-};
-
-class FineLocksExecutor final : public StagedExecutor {
- public:
-  FineLocksExecutor(htm::DesMachine& machine, int batch,
-                    std::uint32_t stripes)
-      : StagedExecutor(machine, batch),
-        heap_(machine.heap()),
-        locks_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes),
-                                                  "fine-locks.stripes")) {
-    for (auto& lock : locks_) lock = 0;
-  }
-
-  Mechanism mechanism() const override { return Mechanism::kFineLocks; }
-
-  void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
-    auto& stage = staging(ctx);
-    stage.clear();
-    FineLockAccess access(ctx, heap_, locks_, &stage);
-    for (std::uint64_t i = 0; i < count; ++i) op(access, i);
-    if (done) done(ctx, stage);
-    stage.clear();
-  }
-
- private:
-  const mem::SimHeap& heap_;
-  std::span<std::uint32_t> locks_;
-};
-
-class SerialLockExecutor final : public StagedExecutor {
- public:
-  SerialLockExecutor(htm::DesMachine& machine, int batch)
-      : StagedExecutor(machine, batch),
-        lock_(machine.heap().alloc<std::uint32_t>(1, "serial-lock.word")) {
-    lock_[0] = 0;
-  }
-
-  Mechanism mechanism() const override { return Mechanism::kSerialLock; }
-
-  void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
-    // True virtual-time mutual exclusion: a thread arriving while the lock
-    // is "held" (free_at_ in its future) first waits it out, then runs the
-    // whole batch under the lock. Each DES dispatch is sequential, so the
-    // CAS always succeeds in program terms; waiting + the hot-line CAS
-    // model the §4.1 coarse-lock serialization cost.
-    if (free_at_ > ctx.now()) ctx.compute(free_at_ - ctx.now());
-    while (!ctx.cas(lock_[0], 0u, 1u)) {
-    }
-    auto& stage = staging(ctx);
-    stage.clear();
-    PlainAccess access(ctx, &stage);
-    for (std::uint64_t i = 0; i < count; ++i) op(access, i);
-    ctx.store(lock_[0], 0u);
-    free_at_ = ctx.now();
-    if (done) done(ctx, stage);
-    stage.clear();
-  }
-
- private:
-  std::span<std::uint32_t> lock_;
-  double free_at_ = 0;
-};
-
-class StmExecutor final : public StagedExecutor {
- public:
-  StmExecutor(htm::DesMachine& machine, int batch, std::uint32_t stripes)
-      : StagedExecutor(machine, batch),
-        costs_(machine.config().atomics),
-        heap_(machine.heap()),
-        orecs_(machine.heap().alloc<std::uint32_t>(std::bit_ceil(stripes),
-                                                  "stm.orecs")),
-        clock_(machine.heap().alloc<std::uint32_t>(1, "stm.clock")),
-        writes_(static_cast<std::size_t>(machine.num_threads())) {
-    for (auto& orec : orecs_) orec = 0;
-    clock_[0] = 0;
-  }
-
-  Mechanism mechanism() const override { return Mechanism::kStm; }
-
-  void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
-    auto& stage = staging(ctx);
-    auto& writes = writes_[ctx.thread_id()];
-    std::uint64_t loads = 0;
-    // The software transaction runs for real against heap memory; within
-    // one DES dispatch it is uncontended and commits first try. Its cost
-    // follows a first-order TL2 model:
-    //  * read: orec load + value load, revalidated at commit (3 loads),
-    //    plus per-access bookkeeping (hashing, set lookups, version
-    //    compares) — charged as a multiple of the cached load cost, the
-    //    model's proxy for core speed;
-    //  * write: buffered (read-set-style bookkeeping during the body),
-    //    then at commit the orec lock CAS, write-back store, and orec
-    //    release store. The lock/release pair is replayed below as REAL
-    //    modeled atomics on a striped orec table, so it queues at the
-    //    machine's atomic unit exactly like the plain-atomics executor
-    //    does (on BGQ that is the machine-wide L2 gap — the serialization
-    //    a compute-only charge would silently bypass);
-    //  * a global version-clock load at begin and CAS at commit.
-    engine_.atomically([&](htm::StmTxn& tx) {
-      stage.clear();
-      writes.clear();
-      loads = 0;
-      CountingStmAccess access(tx, &stage, loads, writes);
-      for (std::uint64_t i = 0; i < count; ++i) op(access, i);
-    });
-    (void)ctx.load(clock_[0]);  // begin: sample the global version clock
-    const double bookkeeping_ns = 4.0 * costs_.load_ns;
-    const double access_ns =
-        static_cast<double>(loads) * (3.0 * costs_.load_ns + bookkeeping_ns) +
-        static_cast<double>(writes.size()) *
-            (costs_.load_ns + bookkeeping_ns);
-    ctx.compute(access_ns);
-    for (const void* addr : writes) {
-      std::uint32_t& orec = orec_of(addr);
-      while (!ctx.cas(orec, 0u, 1u)) {
-      }
-      ctx.compute(costs_.store_ns);  // write back the buffered value
-      ctx.store(orec, 0u);
-    }
-    if (!writes.empty()) {
-      const std::uint32_t version = ctx.load(clock_[0]);
-      ctx.cas(clock_[0], version, version + 1);
-    }
-    if (done) done(ctx, stage);
-    stage.clear();
-  }
-
- private:
-  std::uint32_t& orec_of(const void* p) {
-    // Heap offset, not host address: deterministic across runs (no ASLR).
-    return orecs_[util::mix64(heap_.offset_of(p) >> 2) & (orecs_.size() - 1)];
-  }
-
-  const model::AtomicCosts& costs_;
-  const mem::SimHeap& heap_;
-  std::span<std::uint32_t> orecs_;
-  std::span<std::uint32_t> clock_;
-  std::vector<std::vector<const void*>> writes_;
-  htm::StmEngine engine_;
 };
 
 }  // namespace

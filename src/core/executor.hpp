@@ -186,6 +186,13 @@ class ActivityExecutor {
 
   virtual Mechanism mechanism() const = 0;
 
+  /// True only for the concrete executors of executor_impl.hpp: a promise
+  /// that this object IS the concrete class for mechanism(), so
+  /// execute_batch may static_cast and take the templated fast path.
+  /// Decorating executors (check::) must leave this false — their whole
+  /// point is interposing on the type-erased execute() seam.
+  virtual bool devirtualized() const { return false; }
+
   /// Applies op(access, i) for i in [0, count) under the mechanism.
   /// Transactional executors stage the batch: the call must then be the
   /// last action of the current Worker::next(). Non-transactional

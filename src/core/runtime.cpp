@@ -20,11 +20,7 @@ class AamRuntime::BatchWorker : public htm::Worker {
     // its mechanism (a single transaction for kHtmCoarsened, per-item
     // synchronization otherwise). Bodies may re-execute on retries, so
     // everything derives from (begin, end) and executor-visible state.
-    rt_.executor_->execute(
-        ctx, end - begin,
-        [this, begin](Access& access, std::uint64_t i) {
-          rt_.op_(access, begin + i);
-        });
+    rt_.batch_fn_(ctx, begin, end);
     return true;
   }
 
@@ -49,12 +45,12 @@ AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
 
 AamRuntime::~AamRuntime() = default;
 
-void AamRuntime::for_each(std::uint64_t count, ItemOp op) {
+void AamRuntime::run_batches(std::uint64_t count, BatchFn fn) {
   cursor_.reset_direct();
-  op_ = std::move(op);
+  batch_fn_ = std::move(fn);
   count_ = count;
   machine_.run();
-  op_ = nullptr;
+  batch_fn_ = nullptr;
 }
 
 }  // namespace aam::core

@@ -21,6 +21,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/executor.hpp"
+#include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "htm/des_engine.hpp"
 
@@ -36,7 +37,8 @@ class AamRuntime {
   };
 
   /// The single-element operator: modifies graph elements through the
-  /// executor's Access surface.
+  /// executor's Access surface. (Legacy alias — for_each is templated and
+  /// type-erases per *batch*, not per item.)
   using ItemOp = std::function<void(Access&, std::uint64_t item)>;
 
   AamRuntime(htm::DesMachine& machine, Options options);
@@ -45,10 +47,26 @@ class AamRuntime {
   AamRuntime(const AamRuntime&) = delete;
   AamRuntime& operator=(const AamRuntime&) = delete;
 
-  /// Applies `op` to every item in [0, count) across all machine threads,
-  /// batching M invocations per activity. Returns when all committed.
-  /// (Fire-and-Forget usage; the op's own logic provides AS/MF semantics.)
-  void for_each(std::uint64_t count, ItemOp op);
+  /// Applies `op(access, item)` to every item in [0, count) across all
+  /// machine threads, batching M invocations per activity. Returns when
+  /// all committed. (Fire-and-Forget usage; the op's own logic provides
+  /// AS/MF semantics.) The operator must be generic over the access type
+  /// (`[](auto& access, std::uint64_t item)`): it is instantiated against
+  /// the concrete executor's access implementation on the fast path and
+  /// against core::Access when a check decorator is attached. One
+  /// std::function hop remains per claimed *batch* of M items.
+  template <typename Op>
+  void for_each(std::uint64_t count, Op op) {
+    run_batches(count,
+                [this, op = std::move(op)](htm::ThreadCtx& ctx,
+                                           std::uint64_t begin,
+                                           std::uint64_t end) mutable {
+                  execute_batch(*executor_, ctx, end - begin,
+                                [&op, begin](auto& access, std::uint64_t i) {
+                                  op(access, begin + i);
+                                });
+                });
+  }
 
   int batch() const { return executor_->preferred_batch(); }
   void set_batch(int m) { executor_->set_batch(m); }
@@ -67,11 +85,19 @@ class AamRuntime {
  private:
   class BatchWorker;
 
+  /// Batch-granular type erasure: applies [begin, end) of the current
+  /// worklist. Stays alive for the whole machine run, so the access-typed
+  /// operator it owns outlives any transaction staged against it.
+  using BatchFn =
+      std::function<void(htm::ThreadCtx&, std::uint64_t, std::uint64_t)>;
+
+  void run_batches(std::uint64_t count, BatchFn fn);
+
   htm::DesMachine& machine_;
   std::unique_ptr<ActivityExecutor> executor_;
   ChunkCursor cursor_;
   std::vector<std::unique_ptr<BatchWorker>> workers_;
-  ItemOp op_;
+  BatchFn batch_fn_;
   std::uint64_t count_ = 0;
 };
 

@@ -8,115 +8,14 @@
 namespace aam::htm {
 
 // ---------------------------------------------------------------------------
-// Per-thread engine state
-// ---------------------------------------------------------------------------
-
-struct DesMachine::ThreadState {
-  ThreadCtx ctx;
-  Worker* worker = nullptr;
-  bool parked = true;
-
-  // Staged-transaction state. At most one activity is in flight per thread.
-  bool txn_inflight = false;
-  bool want_serialize = false;
-  TxnBody body;
-  TxnDone done;
-  int aborts_this_txn = 0;
-  int capacity_aborts_this_txn = 0;
-  double first_start = 0;   ///< time of the first speculative attempt
-  double spec_start = 0;    ///< time of the current attempt
-  std::uint64_t start_stamp = 0;  ///< global commit stamp at attempt start
-  double txn_duration = 0;  ///< accumulated cost of the current attempt
-  mem::WordMap write_buffer;
-  mem::FootprintTracker tracker;
-  Txn txn;
-  HtmStats stats;
-};
-
-// ---------------------------------------------------------------------------
 // Txn
 // ---------------------------------------------------------------------------
 
 void Txn::abort() { throw TxAbort{AbortReason::kExplicit}; }
 
-std::uint64_t Txn::load_word(std::uintptr_t addr) {
-  DesMachine& m = *machine_;
-  auto& ts = *m.threads_[tid_];
-  AAM_CHECK_MSG(m.heap_.contains(reinterpret_cast<const void*>(addr)),
-                "transactional access to memory outside the SimHeap");
-  const std::uint64_t offset =
-      m.heap_.offset_of(reinterpret_cast<const void*>(addr));
-
-  if (serialized_) {
-    ts.txn_duration += m.config_.atomics.load_ns;
-    // Track the unit (no capacity limits) so stamps bump at commit.
-    ts.tracker.add_read(offset);
-  } else {
-    ts.txn_duration += m.costs_.read_ns + m.config_.atomics.load_ns;
-    if (ts.tracker.add_read(offset) == mem::FootprintTracker::Add::kOverflow) {
-      throw TxAbort{AbortReason::kCapacity};
-    }
-  }
-  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
-  std::uint64_t word;
-  if (!ts.write_buffer.lookup(word_addr, word)) {
-    word = m.read_committed_word(word_addr);
-  }
-  return word;
-}
-
-std::uint64_t Txn::peek_word_for_store(std::uintptr_t addr) {
-  // Fetch the containing word without charging a transactional read: the
-  // cost of a store already covers bringing the line into the buffer.
-  DesMachine& m = *machine_;
-  auto& ts = *m.threads_[tid_];
-  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
-  std::uint64_t word;
-  if (!ts.write_buffer.lookup(word_addr, word)) {
-    word = m.read_committed_word(word_addr);
-  }
-  return word;
-}
-
-void Txn::store_word(std::uintptr_t addr, std::uint64_t word) {
-  DesMachine& m = *machine_;
-  auto& ts = *m.threads_[tid_];
-  AAM_CHECK_MSG(m.heap_.contains(reinterpret_cast<const void*>(addr)),
-                "transactional access to memory outside the SimHeap");
-  const std::uint64_t offset =
-      m.heap_.offset_of(reinterpret_cast<const void*>(addr));
-
-  if (serialized_) {
-    ts.txn_duration += m.config_.atomics.store_ns;
-    ts.tracker.add_write(offset);
-  } else {
-    ts.txn_duration += m.costs_.write_ns + m.config_.atomics.store_ns;
-    if (ts.tracker.add_write(offset) == mem::FootprintTracker::Add::kOverflow) {
-      throw TxAbort{AbortReason::kCapacity};
-    }
-  }
-  const std::uintptr_t word_addr = addr & ~std::uintptr_t{7};
-  ts.write_buffer.insert_or_assign(word_addr, word);
-}
-
 // ---------------------------------------------------------------------------
 // ThreadCtx
 // ---------------------------------------------------------------------------
-
-void ThreadCtx::charge_load() { clock_ += machine_->config().atomics.load_ns; }
-
-void ThreadCtx::charge_store(const void* p, std::size_t len) {
-  clock_ += machine_->config().atomics.store_ns;
-  if (machine_->heap().contains(p)) {
-    // A plain store is immediately visible: overlapping transactions that
-    // touched this location must observe it as a conflict.
-    machine_->bump_addr(p);
-    if (machine_->write_observer_ != nullptr) {
-      machine_->write_observer_->on_legitimate_write(
-          machine_->heap().offset_of(p), static_cast<std::uint32_t>(len));
-    }
-  }
-}
 
 void ThreadCtx::begin_atomic(const void* p, bool is_cas) {
   DesMachine& m = *machine_;
@@ -200,6 +99,10 @@ DesMachine::DesMachine(const model::MachineConfig& config, model::HtmKind kind,
   for (auto& d : domains_) {
     d.lock = heap_.alloc_isolated<std::uint64_t>(0, "htm.elision-lock");
   }
+  // Each thread holds at most a handful of in-flight events (kNext /
+  // kCommit / kRetry chains) plus occasional callbacks; pre-size the queue
+  // so the steady state never reallocates mid-run.
+  queue_.reserve(static_cast<std::size_t>(num_threads) * 4 + 16);
   const util::Rng root(seed);
   threads_.reserve(static_cast<std::size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
@@ -611,21 +514,6 @@ void DesMachine::finish_txn(std::uint32_t tid, bool serialized,
   }
   ts.body = nullptr;
   queue_.push(ts.ctx.clock_, tid, kNext);
-}
-
-std::uint64_t DesMachine::read_committed_word(std::uintptr_t addr) const {
-  std::uint64_t word;
-  std::memcpy(&word, reinterpret_cast<const void*>(addr), 8);
-  return word;
-}
-
-void DesMachine::write_committed_word(std::uintptr_t addr,
-                                      std::uint64_t word) {
-  std::memcpy(reinterpret_cast<void*>(addr), &word, 8);
-  if (write_observer_ != nullptr) {
-    write_observer_->on_legitimate_write(
-        heap_.offset_of(reinterpret_cast<const void*>(addr)), 8);
-  }
 }
 
 }  // namespace aam::htm

@@ -18,33 +18,6 @@ EpochSet::EpochSet(std::size_t initial_capacity)
     : slots_(round_up_pow2(initial_capacity * 2)),
       mask_(slots_.size() - 1) {}
 
-void EpochSet::clear() {
-  ++epoch_;
-  size_ = 0;
-}
-
-std::size_t EpochSet::probe(std::uint64_t key) const {
-  std::size_t i = util::mix64(key) & mask_;
-  while (slots_[i].epoch == epoch_ && slots_[i].key != key) {
-    i = (i + 1) & mask_;
-  }
-  return i;
-}
-
-bool EpochSet::insert(std::uint64_t key) {
-  if (size_ * 10 >= slots_.size() * 7) grow();
-  const std::size_t i = probe(key);
-  if (slots_[i].epoch == epoch_) return false;  // already present
-  slots_[i] = Slot{key, epoch_};
-  ++size_;
-  return true;
-}
-
-bool EpochSet::contains(std::uint64_t key) const {
-  const std::size_t i = probe(key);
-  return slots_[i].epoch == epoch_;
-}
-
 void EpochSet::grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});
@@ -63,52 +36,16 @@ WordMap::WordMap(std::size_t initial_capacity)
     : slots_(round_up_pow2(initial_capacity * 2)),
       mask_(slots_.size() - 1) {}
 
-void WordMap::clear() {
-  ++epoch_;
-  keys_.clear();
-}
-
-bool WordMap::lookup(std::uintptr_t addr, std::uint64_t& value) const {
-  std::size_t i = util::mix64(addr) & mask_;
-  while (slots_[i].epoch == epoch_) {
-    if (slots_[i].key == addr) {
-      value = slots_[i].value;
-      return true;
-    }
-    i = (i + 1) & mask_;
-  }
-  return false;
-}
-
-void WordMap::insert_or_assign(std::uintptr_t addr, std::uint64_t value) {
-  if (keys_.size() * 10 >= slots_.size() * 7) grow();
-  std::size_t i = util::mix64(addr) & mask_;
-  while (slots_[i].epoch == epoch_) {
-    if (slots_[i].key == addr) {
-      slots_[i].value = value;
-      return;
-    }
-    i = (i + 1) & mask_;
-  }
-  slots_[i] = Slot{addr, value, epoch_};
-  keys_.push_back(addr);
-}
-
 void WordMap::grow() {
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  // Entries (keys and values) are authoritative; only the index slots need
+  // rebuilding, preserving insertion order untouched.
+  slots_.assign(slots_.size() * 2, Slot{});
   mask_ = slots_.size() - 1;
-  const std::uint64_t old_epoch = epoch_;
   ++epoch_;
-  std::vector<std::uintptr_t> keys = std::move(keys_);
-  keys_.clear();
-  for (std::uintptr_t key : keys) {
-    // Find the value in the old table and reinsert.
-    std::size_t i = util::mix64(key) & (old.size() - 1);
-    while (old[i].key != key || old[i].epoch != old_epoch) {
-      i = (i + 1) & (old.size() - 1);
-    }
-    insert_or_assign(key, old[i].value);
+  for (std::uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    std::size_t i = util::mix64(entries_[idx].key) & mask_;
+    while (slots_[i].epoch == epoch_) i = (i + 1) & mask_;
+    slots_[i] = Slot{idx, epoch_};
   }
 }
 
@@ -135,15 +72,15 @@ void FootprintTracker::reset() {
   read_units_.clear();
   write_lines_ = 0;
   read_lines_ = 0;
+  last_write_valid_ = false;
+  last_read_valid_ = false;
   ++epoch_;
 }
 
-FootprintTracker::Add FootprintTracker::add_write(std::uint64_t offset) {
-  AAM_DCHECK(!set_count_.empty());  // configure() was called
-  const std::uint64_t unit = offset >> conflict_shift_;
+FootprintTracker::Add FootprintTracker::add_write_slow(std::uint64_t unit,
+                                                       LineId line) {
   if (written_units_.insert(unit)) write_units_.push_back(unit);
 
-  const LineId line = offset / kLineBytes;
   if (!written_lines_.insert(line)) return Add::kDuplicate;
   ++write_lines_;
   if (write_lines_ > write_geom_.capacity_lines()) {
@@ -162,12 +99,11 @@ FootprintTracker::Add FootprintTracker::add_write(std::uint64_t offset) {
   return Add::kOk;
 }
 
-FootprintTracker::Add FootprintTracker::add_read(std::uint64_t offset) {
-  const std::uint64_t unit = offset >> conflict_shift_;
+FootprintTracker::Add FootprintTracker::add_read_slow(std::uint64_t unit,
+                                                      LineId line) {
   if (!written_units_.contains(unit) && read_units_set_.insert(unit)) {
     read_units_.push_back(unit);
   }
-  const LineId line = offset / kLineBytes;
   if (written_lines_.contains(line)) return Add::kDuplicate;
   if (!read_lines_set_.insert(line)) return Add::kDuplicate;
   ++read_lines_;

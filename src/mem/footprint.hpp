@@ -12,12 +12,18 @@
 //                the HTM variant and reports capacity overflows (the
 //                "buffer overflow" abort class of §5).
 
+// The accessor hot paths (EpochSet/WordMap probes, FootprintTracker adds)
+// are defined inline here: they run several times per modelled memory
+// access, and the cross-TU call overhead is measurable in end-to-end
+// throughput. Growth/rehash cold paths stay in the .cpp.
+
 #include <cstdint>
 #include <vector>
 
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace aam::mem {
 
@@ -26,10 +32,25 @@ class EpochSet {
  public:
   explicit EpochSet(std::size_t initial_capacity = 64);
 
-  void clear();
+  void clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
   /// Inserts `key`; returns true when the key was not present.
-  bool insert(std::uint64_t key);
-  bool contains(std::uint64_t key) const;
+  bool insert(std::uint64_t key) {
+    if (size_ * 10 >= slots_.size() * 7) grow();
+    const std::size_t i = probe(key);
+    if (slots_[i].epoch == epoch_) return false;  // already present
+    slots_[i] = Slot{key, epoch_};
+    ++size_;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const {
+    return slots_[probe(key)].epoch == epoch_;
+  }
+
   std::size_t size() const { return size_; }
 
  private:
@@ -38,7 +59,13 @@ class EpochSet {
     std::uint64_t epoch = 0;
   };
   void grow();
-  std::size_t probe(std::uint64_t key) const;
+  std::size_t probe(std::uint64_t key) const {
+    std::size_t i = util::mix64(key) & mask_;
+    while (slots_[i].epoch == epoch_ && slots_[i].key != key) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
 
   std::vector<Slot> slots_;
   std::uint64_t epoch_ = 1;
@@ -46,40 +73,72 @@ class EpochSet {
   std::size_t mask_ = 0;
 };
 
-/// Open-addressing address -> 64-bit-value map with epoch clearing and an
-/// insertion-order key list for commit iteration.
+/// Open-addressing address -> 64-bit-value map with epoch clearing. Values
+/// live in the insertion-order entry list itself, so commit iteration is a
+/// linear scan with no hashing; the hash slots only map addresses to entry
+/// indices for lookup/update.
 class WordMap {
  public:
   explicit WordMap(std::size_t initial_capacity = 64);
 
-  void clear();
+  void clear() {
+    ++epoch_;
+    entries_.clear();
+  }
+
   /// Looks up the buffered value for an 8-byte-aligned word address.
-  bool lookup(std::uintptr_t addr, std::uint64_t& value) const;
-  void insert_or_assign(std::uintptr_t addr, std::uint64_t value);
-  std::size_t size() const { return keys_.size(); }
+  bool lookup(std::uintptr_t addr, std::uint64_t& value) const {
+    std::size_t i = util::mix64(addr) & mask_;
+    while (slots_[i].epoch == epoch_) {
+      const Entry& e = entries_[slots_[i].index];
+      if (e.key == addr) {
+        value = e.value;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void insert_or_assign(std::uintptr_t addr, std::uint64_t value) {
+    if (entries_.size() * 10 >= slots_.size() * 7) grow();
+    std::size_t i = util::mix64(addr) & mask_;
+    while (slots_[i].epoch == epoch_) {
+      Entry& e = entries_[slots_[i].index];
+      if (e.key == addr) {
+        e.value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{static_cast<std::uint32_t>(entries_.size()), epoch_};
+    entries_.push_back(Entry{addr, value});
+  }
+
+  std::size_t size() const { return entries_.size(); }
 
   /// Iterates entries in insertion order (commit write-back order).
+  /// No per-key re-probing: the value is stored next to its key.
   template <typename F>
   void for_each(F&& fn) const {
-    for (std::uintptr_t key : keys_) {
-      std::uint64_t value = 0;
-      const bool found = lookup(key, value);
-      AAM_DCHECK(found);
-      (void)found;
-      fn(key, value);
+    for (const Entry& e : entries_) {
+      fn(e.key, e.value);
     }
   }
 
  private:
-  struct Slot {
+  struct Entry {
     std::uintptr_t key = 0;
     std::uint64_t value = 0;
+  };
+  struct Slot {
+    std::uint32_t index = 0;  ///< into entries_
     std::uint64_t epoch = 0;
   };
   void grow();
 
   std::vector<Slot> slots_;
-  std::vector<std::uintptr_t> keys_;
+  std::vector<Entry> entries_;
   std::uint64_t epoch_ = 1;
   std::size_t mask_ = 0;
 };
@@ -103,9 +162,38 @@ class FootprintTracker {
   enum class Add : std::uint8_t { kOk, kOverflow, kDuplicate };
 
   /// Records a write at heap offset `offset`; kOverflow = capacity abort.
-  Add add_write(std::uint64_t offset);
+  Add add_write(std::uint64_t offset) {
+    AAM_DCHECK(!set_count_.empty());  // configure() was called
+    const std::uint64_t unit = offset >> conflict_shift_;
+    const LineId line = offset / kLineBytes;
+    if (last_write_valid_ && unit == last_write_unit_ &&
+        line == last_write_line_) {
+      return Add::kDuplicate;
+    }
+    // Every return of the slow path leaves `unit` in written_units_ and
+    // `line` in written_lines_, which is exactly what a memo hit asserts.
+    last_write_unit_ = unit;
+    last_write_line_ = line;
+    last_write_valid_ = true;
+    return add_write_slow(unit, line);
+  }
+
   /// Records a read (no associativity constraint, total budget only).
-  Add add_read(std::uint64_t offset);
+  Add add_read(std::uint64_t offset) {
+    const std::uint64_t unit = offset >> conflict_shift_;
+    const LineId line = offset / kLineBytes;
+    if (last_read_valid_ && unit == last_read_unit_ &&
+        line == last_read_line_) {
+      return Add::kDuplicate;
+    }
+    // Every return of the slow path leaves `unit` recorded (written or
+    // read side) and `line` present in written_lines_ or read_lines_set_ —
+    // a repeat call would return kDuplicate with no state change.
+    last_read_unit_ = unit;
+    last_read_line_ = line;
+    last_read_valid_ = true;
+    return add_read_slow(unit, line);
+  }
 
   /// Distinct conflict units written / read (validation + stamp bumping).
   const std::vector<std::uint64_t>& write_units() const {
@@ -117,6 +205,9 @@ class FootprintTracker {
   std::size_t distinct_read_lines() const { return read_lines_; }
 
  private:
+  Add add_write_slow(std::uint64_t unit, LineId line);
+  Add add_read_slow(std::uint64_t unit, LineId line);
+
   model::CacheGeometry write_geom_;
   std::uint32_t read_capacity_lines_ = 0;
   std::uint32_t conflict_shift_ = 6;
@@ -134,6 +225,20 @@ class FootprintTracker {
   std::vector<std::uint32_t> set_count_;
   std::vector<std::uint64_t> set_epoch_;
   std::uint64_t epoch_ = 1;
+
+  // Hot-path memo: the (conflict unit, line) of the previous add_write /
+  // add_read. Operator loops touch the same word or line repeatedly
+  // (parent[w] re-reads, accumulator read-modify-write), and a repeat of
+  // the immediately preceding access is by construction already present in
+  // every set, so it can answer kDuplicate without hashing. Invalidated by
+  // reset()/configure() only — an interleaved access to another address
+  // never falsifies what a memo asserts about its own (unit, line).
+  std::uint64_t last_write_unit_ = 0;
+  std::uint64_t last_write_line_ = 0;
+  bool last_write_valid_ = false;
+  std::uint64_t last_read_unit_ = 0;
+  std::uint64_t last_read_line_ = 0;
+  bool last_read_valid_ = false;
 };
 
 }  // namespace aam::mem

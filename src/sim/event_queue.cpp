@@ -6,26 +6,35 @@
 
 namespace aam::sim {
 
-std::uint64_t EventQueue::push(Time time, std::uint32_t thread,
-                               std::uint32_t kind, std::uint64_t payload) {
-  AAM_DCHECK(time >= 0);
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{time, seq, thread, kind, payload});
-  std::push_heap(heap_.begin(), heap_.end(), Less{});
-  return seq;
+void EventQueue::sift_up(std::size_t i) {
+  const Event e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
-Time EventQueue::peek_time() const {
-  AAM_CHECK(!heap_.empty());
-  return heap_.front().time;
+void EventQueue::sift_down(std::size_t i, const Event& e) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
 }
 
-Event EventQueue::pop() {
-  AAM_CHECK(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Less{});
-  Event e = heap_.back();
+void EventQueue::repair_hole() {
+  hole_ = false;
+  const Event last = heap_.back();
   heap_.pop_back();
-  return e;
+  if (!heap_.empty()) sift_down(0, last);
 }
 
 Time Backoff::window(int attempt) const {

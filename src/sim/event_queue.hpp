@@ -4,12 +4,15 @@
 //
 // Events are ordered by (time, sequence number); the sequence number is
 // assigned at push time, so ties resolve in insertion order and a run is
-// bit-reproducible regardless of heap internals.
+// bit-reproducible regardless of heap internals. (time, seq) is a total
+// order — seq is unique — so *any* correct heap pops the same sequence;
+// the layout tricks below cannot change observable order.
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/check.hpp"
 
 namespace aam::sim {
 
@@ -23,30 +26,68 @@ struct Event {
 
 class EventQueue {
  public:
+  /// Pre-sizes the backing store (e.g. from the machine's thread count) so
+  /// steady-state push/pop never reallocates.
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
   /// Enqueue an event at `time`. Returns the assigned sequence number.
   std::uint64_t push(Time time, std::uint32_t thread, std::uint32_t kind,
-                     std::uint64_t payload = 0);
+                     std::uint64_t payload = 0) {
+    AAM_DCHECK(time >= 0);
+    const std::uint64_t seq = next_seq_++;
+    const Event e{time, seq, thread, kind, payload};
+    if (hole_) {
+      // Fast path: the previous pop left a hole at the root. Placing the
+      // new event straight into it merges pop's deferred sift-down with
+      // push's sift-up into one sift-down. In the DES loop nearly every
+      // dispatched event pushes a follow-up (kNext -> kCommit -> kRetry /
+      // kNext chains), so this is the common case.
+      hole_ = false;
+      sift_down(0, e);
+    } else {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    }
+    return seq;
+  }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.size() == (hole_ ? 1u : 0u); }
+  std::size_t size() const { return heap_.size() - (hole_ ? 1u : 0u); }
 
   /// Earliest event time; queue must be non-empty.
-  Time peek_time() const;
+  Time peek_time() const {
+    AAM_CHECK(!empty());
+    if (!hole_) return heap_[0].time;
+    // Root is a hole; the subtrees under it are intact heaps, so the
+    // minimum is the smaller of the two subtree roots.
+    if (heap_.size() == 2 || before(heap_[1], heap_[2])) return heap_[1].time;
+    return heap_[2].time;
+  }
 
-  /// Remove and return the earliest event.
-  Event pop();
+  /// Remove and return the earliest event. The root slot is left as a
+  /// hole for the next push to fill; the heap is repaired lazily.
+  Event pop() {
+    AAM_CHECK(!empty());
+    if (hole_) repair_hole();
+    Event e = heap_[0];
+    hole_ = true;
+    return e;
+  }
 
   /// Total events ever pushed (diagnostics).
   std::uint64_t pushed() const { return next_seq_; }
 
  private:
-  struct Less {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;  // min-heap
-      return a.seq > b.seq;
-    }
-  };
-  std::vector<Event> heap_;
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i, const Event& e);
+  void repair_hole();
+
+  std::vector<Event> heap_;  ///< binary min-heap on (time, seq)
+  bool hole_ = false;  ///< heap_[0] is logically removed (pop deferred)
   std::uint64_t next_seq_ = 0;
 };
 

@@ -71,7 +71,7 @@ TEST(Checker, CleanRunPassesAndSeesBatches) {
   auto data = heap.alloc<std::uint64_t>(256, "data");
   check::Checker checker(machine, all_checks());
   core::AamRuntime rt(machine, {.batch = 8, .decorator = &checker});
-  rt.for_each(256, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(256, [&](auto& access, std::uint64_t i) {
     access.fetch_add(data[i], std::uint64_t{1});
   });
   EXPECT_TRUE(checker.passed()) << report_of(checker);
@@ -111,7 +111,7 @@ TEST(Checker, RacesCatchesEscapedRawWrite) {
   auto data = heap.alloc<std::uint64_t>(64, "buggy.data");
   check::Checker checker(machine, {.races = true});
   core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
-  rt.for_each(64, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(64, [&](auto& access, std::uint64_t i) {
     if (i % 2 == 0) {
       access.store(data[i], std::uint64_t{1});  // modelled: fine
     } else {
@@ -136,7 +136,7 @@ TEST(Checker, SerialReplayCatchesNonReplayableOperator) {
   check::Checker checker(machine, {.serial = true});
   core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
   std::uint64_t hidden_counter = 0;
-  rt.for_each(64, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(64, [&](auto& access, std::uint64_t i) {
     access.store(data[i], ++hidden_counter);
   });
   EXPECT_FALSE(checker.passed());

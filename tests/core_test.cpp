@@ -29,7 +29,7 @@ TEST(AamRuntime, ForEachAppliesEveryItemOnce) {
   htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 8, heap);
   auto data = heap.alloc<std::uint64_t>(1000);
   AamRuntime rt(machine, {.batch = 16});
-  rt.for_each(1000, [&](Access& access, std::uint64_t i) {
+  rt.for_each(1000, [&](auto& access, std::uint64_t i) {
     access.fetch_add(data[i], std::uint64_t{1});
   });
   for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(data[i], 1u) << i;
@@ -43,7 +43,7 @@ TEST(AamRuntime, BatchOneBehavesLikeSingleElementActivities) {
   htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
   auto data = heap.alloc<std::uint64_t>(64);
   AamRuntime rt(machine, {.batch = 1});
-  rt.for_each(64, [&](Access& access, std::uint64_t i) {
+  rt.for_each(64, [&](auto& access, std::uint64_t i) {
     access.store(data[i], i);
   });
   for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(data[i], i);
@@ -58,7 +58,7 @@ TEST(AamRuntime, CoarseningReducesRuntimeOnThisWorkload) {
     htm::DesMachine machine(model::bgq(), HtmKind::kBgqShort, 16, heap);
     auto data = heap.alloc<std::uint64_t>(32768);
     AamRuntime rt(machine, {.batch = m});
-    rt.for_each(32768, [&](Access& access, std::uint64_t i) {
+    rt.for_each(32768, [&](auto& access, std::uint64_t i) {
       access.store(data[i], std::uint64_t{1});
     });
     return machine.makespan();
@@ -74,7 +74,7 @@ TEST(AamRuntime, SequentialForEachCalls) {
   auto data = heap.alloc<std::uint64_t>(128);
   AamRuntime rt(machine, {.batch = 8});
   for (int round = 0; round < 3; ++round) {
-    rt.for_each(128, [&](Access& access, std::uint64_t i) {
+    rt.for_each(128, [&](auto& access, std::uint64_t i) {
       access.fetch_add(data[i], std::uint64_t{1});
     });
   }
@@ -92,7 +92,7 @@ TEST(AamRuntime, AdaptiveBatchShrinksUnderConflicts) {
   opt.window = 8;
   AdaptiveBatch adaptive(opt);
   rt.set_adaptive(&adaptive);
-  rt.for_each(20000, [&](Access& access, std::uint64_t) {
+  rt.for_each(20000, [&](auto& access, std::uint64_t) {
     access.fetch_add(*hot, std::uint64_t{1});
   });
   EXPECT_EQ(*hot, 20000u);
@@ -147,7 +147,7 @@ TEST(DistributedRuntime, RemoteSpawnsExecuteAtOwner) {
   net::Cluster cluster(model::bgq(), HtmKind::kBgqShort, 2, 2, heap);
   auto data = heap.alloc<std::uint64_t>(256);
   DistributedRuntime rt(cluster, {.coalesce = 8, .local_batch = 8});
-  rt.set_operator([&](Access& access, std::uint64_t item) {
+  rt.set_operator([&](auto& access, std::uint64_t item) {
     access.fetch_add(data[item], std::uint64_t{1});
   });
   // Node 0's threads spawn 100 items owned by node 1; node 1 just polls.
@@ -173,7 +173,7 @@ TEST(DistributedRuntime, LocalSpawnsSkipTheNetwork) {
   net::Cluster cluster(model::bgq(), HtmKind::kBgqShort, 2, 1, heap);
   auto data = heap.alloc<std::uint64_t>(64);
   DistributedRuntime rt(cluster, {.coalesce = 8, .local_batch = 4});
-  rt.set_operator([&](Access& access, std::uint64_t item) {
+  rt.set_operator([&](auto& access, std::uint64_t item) {
     access.fetch_add(data[item], std::uint64_t{1});
   });
   ProduceRange p0(rt, 50, /*target_node=*/0);  // all local
@@ -195,7 +195,7 @@ TEST(DistributedRuntime, FireAndReturnRunsFailureHandlerAtSpawner) {
   std::vector<std::uint64_t> failures;
   std::vector<int> failure_nodes;
   rt.set_operator_fr(
-      [&](Access& access, std::uint64_t item) -> std::uint64_t {
+      [&](auto& access, std::uint64_t item) -> std::uint64_t {
         access.fetch_add(data[item], std::uint64_t{1});
         // Odd items report back (e.g. a conflicting color, §3.3.5).
         return item % 2 == 1 ? item : 0;
@@ -225,7 +225,7 @@ TEST(DistributedRuntime, ManyToOneConvergecast) {
   net::Cluster cluster(model::bgq(), HtmKind::kBgqShort, nodes, 1, heap);
   auto* hot = heap.alloc_one<std::uint64_t>(0);
   DistributedRuntime rt(cluster, {.coalesce = 16, .local_batch = 16});
-  rt.set_operator([&](Access& access, std::uint64_t) {
+  rt.set_operator([&](auto& access, std::uint64_t) {
     access.fetch_add(*hot, std::uint64_t{1});
   });
   std::vector<std::unique_ptr<ProduceRange>> producers;

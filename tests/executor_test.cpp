@@ -70,7 +70,7 @@ TEST(Executor, AtomicOpsCountsAtomicsNotTransactions) {
   auto data = heap.alloc<std::uint64_t>(256);
   core::AamRuntime rt(machine,
                       {.batch = 8, .mechanism = core::Mechanism::kAtomicOps});
-  rt.for_each(256, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(256, [&](auto& access, std::uint64_t i) {
     access.fetch_add(data[i], std::uint64_t{1});
   });
   for (std::uint64_t i = 0; i < 256; ++i) EXPECT_EQ(data[i], 1u);
@@ -85,7 +85,7 @@ TEST(Executor, HtmRunsTransactionsNotAtomics) {
   auto data = heap.alloc<std::uint64_t>(256);
   core::AamRuntime rt(
       machine, {.batch = 8, .mechanism = core::Mechanism::kHtmCoarsened});
-  rt.for_each(256, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(256, [&](auto& access, std::uint64_t i) {
     access.fetch_add(data[i], std::uint64_t{1});
   });
   for (std::uint64_t i = 0; i < 256; ++i) EXPECT_EQ(data[i], 1u);
@@ -98,7 +98,7 @@ TEST(Executor, EveryMechanismAppliesEveryItemExactlyOnce) {
     htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 8, heap);
     auto data = heap.alloc<std::uint64_t>(500);
     core::AamRuntime rt(machine, {.batch = 8, .mechanism = m});
-    rt.for_each(500, [&](core::Access& access, std::uint64_t i) {
+    rt.for_each(500, [&](auto& access, std::uint64_t i) {
       access.fetch_add(data[i], std::uint64_t{1});
     });
     for (std::uint64_t i = 0; i < 500; ++i) {

@@ -1,0 +1,241 @@
+// Golden simulated-time snapshot (extends tools/determinism_check.sh into
+// ctest): a small algorithm x mechanism x machine sweep whose simulated
+// times, abort/commit counters, and result digests must stay bit-identical
+// across host-side refactors. Any host-only optimization (devirtualized
+// dispatch, footprint memoization, heap layout changes in the event queue)
+// must leave every line of this snapshot untouched.
+//
+// Regenerate deliberately with:
+//   AAM_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// and commit the diff together with an explanation of the modelled-behavior
+// change that motivated it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/st_connectivity.hpp"
+#include "core/executor.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+
+namespace aam {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+struct Digest {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  }
+  void mix(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+  template <typename T>
+  void mix_all(const std::vector<T>& values) {
+    mix(static_cast<std::uint64_t>(values.size()));
+    for (const T& v : values) mix(static_cast<std::uint64_t>(v));
+  }
+  void mix_all(const std::vector<double>& values) {
+    mix(static_cast<std::uint64_t>(values.size()));
+    for (double v : values) mix(v);
+  }
+};
+
+struct RunRecord {
+  double time_ns = 0;
+  htm::HtmStats stats;
+  std::uint64_t digest = 0;
+};
+
+struct Inputs {
+  graph::Graph g;          ///< Kronecker, for the traversal algorithms
+  graph::Graph wg;         ///< weighted Erdos-Renyi, for SSSP/Boruvka
+  graph::Vertex root = 0;
+  graph::Vertex st_t = 0;
+};
+
+Inputs make_inputs() {
+  const std::uint64_t seed = 1;
+  util::Rng rng(seed);
+  graph::KroneckerParams params;
+  params.scale = 10;
+  params.edge_factor = 4;
+  Inputs in;
+  in.g = graph::kronecker(params, rng);
+  in.root = graph::pick_nonisolated_vertex(in.g);
+  for (graph::Vertex v = in.g.num_vertices(); v-- > 0;) {
+    if (v != in.root && !in.g.neighbors(v).empty()) {
+      in.st_t = v;
+      break;
+    }
+  }
+  util::Rng wrng(seed + 1);
+  auto wedges = graph::erdos_renyi_edges(600, 0.02, wrng);
+  const auto weights =
+      graph::random_weights(wedges.size(), 1.0f, 100.0f, wrng);
+  in.wg = graph::Graph::from_weighted_edges(600, wedges, weights, true);
+  return in;
+}
+
+RunRecord run_one(htm::DesMachine& machine, const Inputs& in,
+                  const std::string& algo, core::Mechanism mech) {
+  RunRecord rec;
+  Digest d;
+  if (algo == "bfs") {
+    algorithms::BfsOptions o;
+    o.root = in.root;
+    o.mechanism = mech;
+    const auto r = algorithms::run_bfs(machine, in.g, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix_all(r.parent);
+    d.mix(r.vertices_visited);
+    d.mix(r.edges_scanned);
+  } else if (algo == "pagerank") {
+    algorithms::PageRankOptions o;
+    o.iterations = 3;
+    o.mechanism = mech;
+    const auto r = algorithms::run_pagerank(machine, in.g, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix_all(r.rank);
+  } else if (algo == "sssp") {
+    algorithms::SsspOptions o;
+    o.source = 0;
+    o.mechanism = mech;
+    const auto r = algorithms::run_sssp(machine, in.wg, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix_all(r.distance);
+    d.mix(r.relaxations);
+  } else if (algo == "coloring") {
+    algorithms::ColoringOptions o;
+    o.mechanism = mech;
+    o.seed = 7;
+    const auto r = algorithms::run_boman_coloring(machine, in.g, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix_all(r.color);
+    d.mix(r.recolor_requests);
+  } else if (algo == "st-conn") {
+    algorithms::StConnOptions o;
+    o.s = in.root;
+    o.t = in.st_t;
+    o.mechanism = mech;
+    const auto r = algorithms::run_st_connectivity(machine, in.g, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix(static_cast<std::uint64_t>(r.connected));
+    d.mix(r.vertices_colored);
+  } else if (algo == "boruvka") {
+    algorithms::BoruvkaOptions o;
+    o.mechanism = mech;
+    const auto r = algorithms::run_boruvka(machine, in.wg, o);
+    rec.time_ns = r.total_time_ns;
+    rec.stats = r.stats;
+    d.mix(r.total_weight);
+    d.mix(r.edges_in_forest);
+    d.mix(r.failed_merges);
+  } else {
+    ADD_FAILURE() << "unknown algorithm " << algo;
+  }
+  rec.digest = d.h;
+  return rec;
+}
+
+std::string snapshot_lines() {
+  const Inputs in = make_inputs();
+  struct Setup {
+    const model::MachineConfig* config;
+    model::HtmKind kind;
+    int threads;
+  };
+  const std::vector<Setup> setups = {
+      {&model::bgq(), model::HtmKind::kBgqShort, 16},
+      {&model::has_c(), model::HtmKind::kRtm, 8},
+  };
+  const std::vector<std::string> algos = {"bfs",      "pagerank", "sssp",
+                                          "coloring", "st-conn",  "boruvka"};
+  std::ostringstream out;
+  for (const Setup& setup : setups) {
+    for (const std::string& algo : algos) {
+      for (const core::Mechanism mech : core::all_mechanisms()) {
+        mem::SimHeap heap((std::size_t{1} << 20) * 8);
+        htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
+                                heap, /*seed=*/1);
+        const RunRecord rec = run_one(machine, in, algo, mech);
+        char line[256];
+        // %a renders the simulated time exactly; any bit flip shows up.
+        std::snprintf(line, sizeof(line),
+                      "%s %s %s time=%a commits=%llu serialized=%llu "
+                      "aborts_conflict=%llu aborts_capacity=%llu "
+                      "aborts_other=%llu cas=%llu acc=%llu digest=%016llx\n",
+                      setup.config->name.c_str(), algo.c_str(),
+                      core::to_string(mech), rec.time_ns,
+                      static_cast<unsigned long long>(rec.stats.committed),
+                      static_cast<unsigned long long>(rec.stats.serialized),
+                      static_cast<unsigned long long>(rec.stats.aborts_conflict),
+                      static_cast<unsigned long long>(rec.stats.aborts_capacity),
+                      static_cast<unsigned long long>(rec.stats.aborts_other),
+                      static_cast<unsigned long long>(rec.stats.atomic_cas),
+                      static_cast<unsigned long long>(rec.stats.atomic_acc),
+                      static_cast<unsigned long long>(rec.digest));
+        out << line;
+      }
+    }
+  }
+  return out.str();
+}
+
+TEST(GoldenSnapshot, SimulatedSweepBitIdentical) {
+  const std::string actual = snapshot_lines();
+  const std::string path = AAM_GOLDEN_SNAPSHOT;
+  if (const char* update = std::getenv("AAM_UPDATE_GOLDEN");
+      update != nullptr && std::string(update) == "1") {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden snapshot regenerated at " << path;
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good())
+      << "missing golden snapshot " << path
+      << " — regenerate with AAM_UPDATE_GOLDEN=1 ./golden_test";
+  std::stringstream expected;
+  expected << f.rdbuf();
+  // Line-by-line compare for readable failures.
+  std::istringstream want(expected.str()), got(actual);
+  std::string wline, gline;
+  int lineno = 0;
+  while (std::getline(want, wline)) {
+    ++lineno;
+    ASSERT_TRUE(std::getline(got, gline))
+        << "snapshot truncated at line " << lineno << "; expected: " << wline;
+    EXPECT_EQ(wline, gline) << "snapshot mismatch at line " << lineno;
+  }
+  EXPECT_FALSE(std::getline(got, gline))
+      << "snapshot has extra lines, first: " << gline;
+}
+
+}  // namespace
+}  // namespace aam

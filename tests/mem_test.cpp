@@ -210,6 +210,24 @@ TEST(WordMap, ReassignAfterClearDoesNotReviveStaleEntries) {
   EXPECT_EQ(visited, 1u);
 }
 
+TEST(WordMap, WriteBackSeesLatestValuesAcrossGrowth) {
+  // Commit write-back (for_each) reads values stored next to the
+  // insertion-order keys; reassignments made before *and* after table
+  // growth must both be visible, in first-insertion order.
+  WordMap m(4);
+  for (std::uintptr_t i = 0; i < 64; ++i) m.insert_or_assign(i * 8, i);
+  for (std::uintptr_t i = 0; i < 64; i += 2) {
+    m.insert_or_assign(i * 8, 1000 + i);  // reassign half, post-growth
+  }
+  std::uintptr_t idx = 0;
+  m.for_each([&](std::uintptr_t k, std::uint64_t val) {
+    EXPECT_EQ(k, idx * 8);
+    EXPECT_EQ(val, idx % 2 == 0 ? 1000 + idx : idx);
+    ++idx;
+  });
+  EXPECT_EQ(idx, 64u);
+}
+
 // ----------------------------------------------------- FootprintTracker
 
 model::CacheGeometry small_geom() {
@@ -292,6 +310,77 @@ TEST(FootprintTracker, CoarseUnitsMatchLines) {
   t.add_write(8);   // same 64B line and same unit
   EXPECT_EQ(t.write_units().size(), 1u);
   EXPECT_EQ(t.distinct_write_lines(), 1u);
+}
+
+TEST(FootprintTracker, SequentialSameLineIsDuplicateWithoutSetGrowth) {
+  // The last-access memo: repeats of the immediately preceding access are
+  // kDuplicate and must not grow any set or unit list.
+  FootprintTracker t;
+  t.configure(small_geom(), 100, /*conflict_shift=*/6);
+  EXPECT_EQ(t.add_write(line_off(3)), FootprintTracker::Add::kOk);
+  for (int i = 0; i < 5; ++i) {
+    // Different word offsets within the same line and unit.
+    EXPECT_EQ(t.add_write(line_off(3) + 8 * i),
+              FootprintTracker::Add::kDuplicate);
+  }
+  EXPECT_EQ(t.write_units().size(), 1u);
+  EXPECT_EQ(t.distinct_write_lines(), 1u);
+  EXPECT_EQ(t.add_read(line_off(5)), FootprintTracker::Add::kOk);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.add_read(line_off(5) + 8 * i),
+              FootprintTracker::Add::kDuplicate);
+  }
+  EXPECT_EQ(t.read_units().size(), 1u);
+  EXPECT_EQ(t.distinct_read_lines(), 1u);
+}
+
+TEST(FootprintTracker, MemoDoesNotConfuseReadsWithWrites) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  // A read memo on a line must not short-circuit the first *write* to it:
+  // the write still has to enter the write sets and capacity model.
+  EXPECT_EQ(t.add_read(line_off(1)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(1)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.distinct_write_lines(), 1u);
+  EXPECT_EQ(t.write_units().size(), 1u);
+  // And vice versa: after a write, the first read of that line reports
+  // kDuplicate (write set covers it) exactly as without the memo.
+  EXPECT_EQ(t.add_write(line_off(2)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_read(line_off(2)), FootprintTracker::Add::kDuplicate);
+  EXPECT_EQ(t.read_units().size(), 1u);  // only line 1's unit
+}
+
+TEST(FootprintTracker, MemoClearedByReset) {
+  FootprintTracker t;
+  t.configure(small_geom(), 100);
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kDuplicate);
+  t.reset();
+  // A stale memo would wrongly report kDuplicate here.
+  EXPECT_EQ(t.add_write(line_off(0)), FootprintTracker::Add::kOk);
+  EXPECT_EQ(t.add_read(line_off(9)), FootprintTracker::Add::kOk);
+  t.reset();
+  EXPECT_EQ(t.add_read(line_off(9)), FootprintTracker::Add::kOk);
+}
+
+TEST(FootprintTracker, CapacityAbortCountsIdenticalWithInterleavedRepeats) {
+  // Overflow must fire at exactly the same access whether or not repeated
+  // same-line touches (memo hits) are interleaved with the distinct ones.
+  FootprintTracker plain;
+  FootprintTracker noisy;
+  plain.configure(small_geom(), 100);
+  noisy.configure(small_geom(), 100);
+  for (LineId l = 0; l < 8; ++l) {
+    EXPECT_EQ(plain.add_write(line_off(l)), FootprintTracker::Add::kOk);
+    EXPECT_EQ(noisy.add_write(line_off(l)), FootprintTracker::Add::kOk);
+    EXPECT_EQ(noisy.add_write(line_off(l)), FootprintTracker::Add::kDuplicate);
+    EXPECT_EQ(noisy.add_write(line_off(l) + 8),
+              FootprintTracker::Add::kDuplicate);
+  }
+  EXPECT_EQ(plain.add_write(line_off(8)), FootprintTracker::Add::kOverflow);
+  EXPECT_EQ(noisy.add_write(line_off(8)), FootprintTracker::Add::kOverflow);
+  EXPECT_EQ(plain.distinct_write_lines(), noisy.distinct_write_lines());
+  EXPECT_EQ(plain.write_units().size(), noisy.write_units().size());
 }
 
 }  // namespace

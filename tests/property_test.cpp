@@ -273,7 +273,7 @@ TEST_P(BatchInvarianceTest, HistogramIndependentOfBatchSize) {
   constexpr std::uint64_t kBuckets = 64;
   auto hist = heap.alloc<std::uint64_t>(kBuckets * 8);
   core::AamRuntime rt(machine, {.batch = GetParam()});
-  rt.for_each(kItems, [&](core::Access& access, std::uint64_t i) {
+  rt.for_each(kItems, [&](auto& access, std::uint64_t i) {
     access.fetch_add(hist[(util::mix64(i) % kBuckets) * 8], std::uint64_t{1});
   });
   std::uint64_t total = 0;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/event_queue.hpp"
 
 namespace aam::sim {
@@ -46,6 +49,82 @@ TEST(EventQueue, InterleavedPushPop) {
   EXPECT_EQ(q.pop().thread, 2u);
   EXPECT_EQ(q.pop().thread, 0u);
   EXPECT_EQ(q.pop().thread, 3u);
+}
+
+TEST(EventQueue, SizePeekAndEmptyCorrectWhileHoleOutstanding) {
+  // pop() defers heap repair (hole at the root) until the next operation;
+  // the accessors must see through the hole.
+  EventQueue q;
+  q.push(10.0, 0, 0);
+  q.push(5.0, 1, 0);
+  q.push(7.0, 2, 0);
+  EXPECT_EQ(q.pop().thread, 1u);  // leaves the hole
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.peek_time(), 7.0);
+  q.push(6.0, 3, 0);  // fills the hole
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 6.0);
+  EXPECT_EQ(q.pop().thread, 3u);
+  EXPECT_EQ(q.pop().thread, 2u);
+  EXPECT_EQ(q.pop().thread, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DrainToEmptyAndRefillAcrossHole) {
+  EventQueue q;
+  q.push(1.0, 7, 0);
+  EXPECT_EQ(q.pop().thread, 7u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push(2.0, 8, 0);  // push into the single-slot hole
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+  EXPECT_EQ(q.pop().thread, 8u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedPopsAlwaysReturnTheMinimum) {
+  // Deterministic pseudo-random push/pop mix with heavy time-tie density,
+  // exercising the hole fast path on every interleaving. Each pop must
+  // return exactly the (time, seq)-minimum of the reference set — i.e.
+  // ordering is unchanged by the heap-layout optimizations.
+  EventQueue q;
+  q.reserve(64);
+  std::vector<Event> live;  // reference queue contents
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  auto min_it = [&live]() {
+    return std::min_element(live.begin(), live.end(),
+                            [](const Event& a, const Event& b) {
+                              if (a.time != b.time) return a.time < b.time;
+                              return a.seq < b.seq;
+                            });
+  };
+  auto check_pop = [&]() {
+    const auto it = min_it();
+    EXPECT_DOUBLE_EQ(q.peek_time(), it->time);
+    const Event e = q.pop();
+    EXPECT_DOUBLE_EQ(e.time, it->time);
+    EXPECT_EQ(e.seq, it->seq);
+    EXPECT_EQ(e.thread, it->thread);
+    live.erase(it);
+    EXPECT_EQ(q.size(), live.size());
+  };
+  for (int i = 0; i < 2000; ++i) {
+    if (next() % 3 != 0 || q.empty()) {
+      const Time t = static_cast<Time>(next() % 16);  // heavy tie density
+      const std::uint64_t seq = q.push(t, static_cast<std::uint32_t>(i), 0);
+      live.push_back(Event{t, seq, static_cast<std::uint32_t>(i), 0, 0});
+    } else {
+      check_pop();
+    }
+  }
+  while (!q.empty()) check_pop();
+  EXPECT_TRUE(live.empty());
 }
 
 TEST(Backoff, WindowsDoubleAndCap) {

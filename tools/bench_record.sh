@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Refresh BENCH_wallclock.json from a bench_throughput run and sanity-check
+# the result.
+#
+# Usage: tools/bench_record.sh <bench_throughput-binary> [output.json] [args...]
+#
+# Extra args are forwarded to bench_throughput (e.g. --scale=12 for a CI
+# smoke run). Exits non-zero when the binary fails or the JSON does not
+# match the aam-bench-wallclock-v1 schema (missing keys, empty results,
+# or non-positive throughput).
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <bench_throughput-binary> [output.json] [bench args...]" >&2
+  exit 2
+fi
+
+bin="$1"
+shift
+out="BENCH_wallclock.json"
+if [[ $# -ge 1 && "${1:0:2}" != "--" ]]; then
+  out="$1"
+  shift
+fi
+
+"$bin" --json="$out" "$@"
+
+python3 - "$out" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    print(f"bench_record: schema error in {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "aam-bench-wallclock-v1":
+    fail(f"unexpected schema {doc.get('schema')!r}")
+for key in ("scale", "machine", "threads", "results"):
+    if key not in doc:
+        fail(f"missing top-level key {key!r}")
+results = doc["results"]
+if not isinstance(results, list) or not results:
+    fail("empty results array")
+for r in results:
+    for key in ("algorithm", "mechanism", "elements", "wall_seconds",
+                "elements_per_sec", "sim_time_ns", "commits", "aborts"):
+        if key not in r:
+            fail(f"result entry missing {key!r}: {r}")
+    if r["elements"] <= 0 or r["elements_per_sec"] <= 0:
+        fail(f"non-positive throughput: {r}")
+print(f"bench_record: {path} OK "
+      f"({len(results)} entries, scale={doc['scale']}, "
+      f"machine={doc['machine']})")
+EOF

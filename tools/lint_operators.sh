@@ -2,7 +2,10 @@
 # Lint: operator bodies must mutate shared state through core::Access.
 #
 # Scans every function/lambda in src/algorithms/ whose parameter list
-# takes a core::Access& and flags raw mutation syntax inside the body:
+# takes an access surface — a `core::Access&` parameter, a generic
+# `(auto& access` lambda, or a templated `Acc& a` operator (the
+# devirtualized spellings, see executor_impl.hpp) — and flags raw
+# mutation syntax inside the body:
 # subscripted assignments (x[i] = v, x[i] += v, ...) and subscripted
 # increments (x[i]++, ++x[i]). Those writes bypass the synchronization
 # mechanism entirely — no conflict detection, no modelled cost — which is
@@ -21,8 +24,9 @@ status=0
 for f in src/algorithms/*.cpp src/algorithms/*.hpp; do
   awk '
     # Track regions that run under an Access: from a signature line
-    # mentioning core::Access& to the close of its brace pair.
-    /core::Access&/ && region == 0 { region = 1; depth = 0; entered = 0 }
+    # mentioning core::Access&, a generic access lambda, or a templated
+    # access parameter, to the close of its brace pair.
+    /core::Access&|\(auto& access|\(Acc& a[,)]/ && region == 0 { region = 1; depth = 0; entered = 0 }
     region == 1 {
       line = $0
       sub(/\/\/.*/, "", line)  # strip trailing comments
