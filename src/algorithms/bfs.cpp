@@ -136,7 +136,8 @@ class BfsWorker : public htm::Worker {
           for (std::uint64_t v : claimed) {
             next_frontier_.push_back(static_cast<Vertex>(v));
           }
-        });
+        },
+        core::OperatorId::kBfsVisit);
   }
 
   BfsState& state_;
@@ -157,7 +158,7 @@ BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
   BfsState state;
   state.graph = &graph;
   state.options = options;
-  state.parent = machine.heap().alloc<Vertex>(n);
+  state.parent = machine.heap().alloc<Vertex>(n, "bfs.parent");
   auto executor = core::make_executor(
       options.mechanism, machine,
       {.batch = options.batch, .decorator = options.decorator});

@@ -128,7 +128,8 @@ class BoruvkaWorker : public htm::Worker {
             state_.total_weight += m.weight;
             ++state_.edges_in_forest;
           }
-        });
+        },
+        core::OperatorId::kUfUnion);
     return true;
   }
 
@@ -148,7 +149,7 @@ BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
   BoruvkaState state;
   state.graph = &graph;
   state.options = options;
-  state.parent = machine.heap().alloc<Vertex>(n);
+  state.parent = machine.heap().alloc<Vertex>(n, "boruvka.parent");
   for (Vertex v = 0; v < n; ++v) state.parent[v] = v;
   auto executor = core::make_executor(
       options.mechanism, machine,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
@@ -95,21 +96,8 @@ class ColorWorker : public htm::Worker {
         *state_.executor, ctx, batch_.size(),
         [this](auto& access, std::uint64_t i) {
           const Tentative t = batch_[i];
-          access.store(state_.color[t.vertex], t.color);
-          // Listing 7: any neighbors already holding this color? Every
-          // clashing *pair* must surrender one endpoint, or a conflict
-          // could survive the round undetected.
-          bool recolor_self = false;
-          for (Vertex w : state_.graph->neighbors(t.vertex)) {
-            if (w != t.vertex && access.load(state_.color[w]) == t.color) {
-              if (coins_[i]) {
-                access.emit(w);
-              } else {
-                recolor_self = true;
-              }
-            }
-          }
-          if (recolor_self) access.emit(t.vertex);
+          ops::color_assign(access, *state_.graph, state_.color, t.vertex,
+                            t.color, coins_[i]);
         },
         [this](htm::ThreadCtx&, std::span<const std::uint64_t> recolor) {
           // Failure handler: schedule the conflicting vertices for the
@@ -118,7 +106,8 @@ class ColorWorker : public htm::Worker {
           for (std::uint64_t v : recolor) {
             next_worklist_.push_back(static_cast<Vertex>(v));
           }
-        });
+        },
+        core::OperatorId::kColorAssign);
   }
 
   ColorState& state_;
@@ -142,7 +131,7 @@ ColoringResult run_boman_coloring(htm::DesMachine& machine,
   ColorState state;
   state.graph = &graph;
   state.options = options;
-  state.color = machine.heap().alloc<std::uint32_t>(n);
+  state.color = machine.heap().alloc<std::uint32_t>(n, "coloring.color");
   auto executor = core::make_executor(
       options.mechanism, machine,
       {.batch = options.batch, .decorator = options.decorator});

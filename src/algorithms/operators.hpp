@@ -90,4 +90,44 @@ bool uf_union(Acc& a, std::span<graph::Vertex> parent, graph::Vertex u,
   }
 }
 
+/// Boman coloring assignment (Listing 7 shape), FR & AS: commit the
+/// tentative color, then report every clashing neighbor. Each clashing
+/// *pair* surrenders one endpoint — the pre-drawn `coin` (stable across
+/// transactional re-execution) picks which — or a conflict could survive
+/// the round undetected. Emits the vertices to recolor next round.
+template <typename Acc>
+void color_assign(Acc& a, const graph::Graph& g,
+                  std::span<std::uint32_t> color, graph::Vertex v,
+                  std::uint32_t tentative, bool coin) {
+  a.store(color[v], tentative);
+  bool recolor_self = false;
+  for (graph::Vertex w : g.neighbors(v)) {
+    if (w != v && a.load(color[w]) == tentative) {
+      if (coin) {
+        a.emit(w);
+      } else {
+        recolor_self = true;
+      }
+    }
+  }
+  if (recolor_self) a.emit(v);
+}
+
+/// ST-connectivity visit (Listing 6), FR & AS: claim v for the wave
+/// `wave_color`. Emits `hit_mark` when the other wave already owns v (the
+/// s-t connection), or `claim_token` when this activity colored v; an
+/// already-own-wave vertex emits nothing.
+template <typename Acc>
+void st_visit(Acc& a, std::span<std::uint32_t> color, graph::Vertex v,
+              std::uint32_t wave_color, std::uint32_t white,
+              std::uint64_t hit_mark, std::uint64_t claim_token) {
+  const std::uint32_t cur = a.load(color[v]);
+  if (cur != white && cur != wave_color) {
+    a.emit(hit_mark);  // the other wave owns it: s-t connect
+    return;
+  }
+  if (cur == wave_color) return;
+  if (a.cas(color[v], white, wave_color)) a.emit(claim_token);
+}
+
 }  // namespace aam::algorithms::ops

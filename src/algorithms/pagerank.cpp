@@ -13,8 +13,8 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
                             const PageRankOptions& options) {
   const Vertex n = graph.num_vertices();
   AAM_CHECK(n > 0);
-  auto old_rank = machine.heap().alloc<double>(n);
-  auto new_rank = machine.heap().alloc<double>(n);
+  auto old_rank = machine.heap().alloc<double>(n, "pagerank.rank");
+  auto new_rank = machine.heap().alloc<double>(n, "pagerank.rank");
   const double init = 1.0 / static_cast<double>(n);
   for (Vertex v = 0; v < n; ++v) old_rank[v] = init;
 
@@ -31,10 +31,13 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
     // The Listing 3 operator, executed for every vertex in coarse
     // activities of M (FF & AS). Under kAtomicOps the pushes are
     // fetch-and-accumulates — the paper's ACC formulation.
-    runtime.for_each(n, [&](auto& access, std::uint64_t item) {
-      ops::pagerank_push(access, graph, old_rank, new_rank,
-                         static_cast<Vertex>(item), base, d);
-    });
+    runtime.for_each(
+        n,
+        [&](auto& access, std::uint64_t item) {
+          ops::pagerank_push(access, graph, old_rank, new_rank,
+                             static_cast<Vertex>(item), base, d);
+        },
+        core::OperatorId::kPagerankPush);
     std::swap(old_rank, new_rank);
   }
 

@@ -100,8 +100,8 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
   AAM_CHECK(part.num_nodes() == cluster.num_nodes());
 
   auto& machine = cluster.machine();
-  auto old_rank = machine.heap().alloc<double>(n);
-  auto new_rank = machine.heap().alloc<double>(n);
+  auto old_rank = machine.heap().alloc<double>(n, "pagerank.rank");
+  auto new_rank = machine.heap().alloc<double>(n, "pagerank.rank");
   const double base = (1.0 - options.damping) / static_cast<double>(n);
   for (Vertex v = 0; v < n; ++v) old_rank[v] = 1.0 / static_cast<double>(n);
 
@@ -124,10 +124,12 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
         },
         options.pbgl_item_overhead_ns);
   } else {
-    rt.set_operator([&](auto& access, std::uint64_t item) {
-      access.fetch_add(new_rank[unpack_vertex(item)],
-                       static_cast<double>(unpack_contribution(item)));
-    });
+    rt.set_operator(
+        [&](auto& access, std::uint64_t item) {
+          access.fetch_add(new_rank[unpack_vertex(item)],
+                           static_cast<double>(unpack_contribution(item)));
+        },
+        core::OperatorId::kPagerankPush);
     // Receiver-side sharding by rank cache line (8 doubles per line):
     // same-node transactions become conflict-free (§4.2 optimization).
     rt.set_sharding([](std::uint64_t item) {

@@ -99,7 +99,8 @@ class SsspWorker : public htm::Worker {
           for (std::uint64_t v : improved) {
             next_frontier_.push_back(static_cast<Vertex>(v));
           }
-        });
+        },
+        core::OperatorId::kSsspRelax);
   }
 
   SsspState& state_;
@@ -120,7 +121,7 @@ SsspResult run_sssp(htm::DesMachine& machine, const graph::Graph& graph,
   SsspState state;
   state.graph = &graph;
   state.options = options;
-  state.distance = machine.heap().alloc<double>(n);
+  state.distance = machine.heap().alloc<double>(n, "sssp.distance");
   for (Vertex v = 0; v < n; ++v) state.distance[v] = kInf;
   state.distance[options.source] = 0.0;
   state.frontier = {options.source};

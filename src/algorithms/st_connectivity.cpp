@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "util/check.hpp"
@@ -84,8 +85,8 @@ class StWorker : public htm::Worker {
     return (static_cast<std::uint64_t>(c.color) << 32) | c.vertex;
   }
 
-  // The Listing 6 operator, batched: emits kHitMark when the two waves
-  // meet. FR & AS: the result always reaches the spawner.
+  // The Listing 6 operator (ops::st_visit), batched: emits kHitMark when
+  // the two waves meet. FR & AS: the result always reaches the spawner.
   void visit(htm::ThreadCtx& ctx, std::size_t count) {
     batch_.assign(pending_.end() - static_cast<std::ptrdiff_t>(count),
                   pending_.end());
@@ -94,15 +95,8 @@ class StWorker : public htm::Worker {
         *state_.executor, ctx, batch_.size(),
         [this](auto& access, std::uint64_t i) {
           const Candidate& c = batch_[i];
-          const std::uint32_t cur = access.load(state_.color[c.vertex]);
-          if (cur != kWhite && cur != c.color) {
-            access.emit(kHitMark);  // the other wave owns it: s-t connect
-            return;
-          }
-          if (cur == c.color) return;
-          if (access.cas(state_.color[c.vertex], kWhite, c.color)) {
-            access.emit(pack(c));
-          }
+          ops::st_visit(access, state_.color, c.vertex, c.color, kWhite,
+                        kHitMark, pack(c));
         },
         [this](htm::ThreadCtx&, std::span<const std::uint64_t> results) {
           // Spawner-side failure handler (§3.3.4): terminate on contact.
@@ -116,7 +110,8 @@ class StWorker : public htm::Worker {
                 {static_cast<Vertex>(r & 0xffffffffu),
                  static_cast<std::uint32_t>(r >> 32)});
           }
-        });
+        },
+        core::OperatorId::kStVisit);
   }
 
   StState& state_;
@@ -138,7 +133,7 @@ StConnResult run_st_connectivity(htm::DesMachine& machine,
   StState state;
   state.graph = &graph;
   state.options = options;
-  state.color = machine.heap().alloc<std::uint32_t>(n);
+  state.color = machine.heap().alloc<std::uint32_t>(n, "stconn.color");
   auto executor = core::make_executor(
       options.mechanism, machine,
       {.batch = options.batch, .decorator = options.decorator});

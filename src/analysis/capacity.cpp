@@ -1,0 +1,56 @@
+#include "analysis/capacity.hpp"
+
+#include <algorithm>
+
+namespace aam::analysis {
+
+namespace {
+
+CapacityBound bound_for(const model::MachineConfig& machine,
+                        model::HtmKind kind, const EffectSignature& sig,
+                        int degree, int chain) {
+  const model::HtmCosts& costs = machine.htm(kind);
+  CapacityBound b;
+  b.machine = machine.name;
+  b.kind = kind;
+  b.op = sig.op;
+  b.read_elems = sig.read_elems(degree, chain);
+  b.write_elems = sig.write_elems(degree, chain);
+  b.write_capacity_lines = costs.write_capacity.capacity_lines();
+  b.read_capacity_lines = costs.read_capacity_lines;
+  b.ways = costs.write_capacity.ways;
+
+  // One line per element: c invocations fit while c·elems ≤ capacity on
+  // both sides. A side with zero elements imposes no constraint.
+  std::uint64_t safe = ~std::uint64_t{0};
+  if (b.write_elems > 0) {
+    safe = std::min(safe, b.write_capacity_lines / b.write_elems);
+  }
+  if (b.read_elems > 0) {
+    safe = std::min(safe, b.read_capacity_lines / b.read_elems);
+  }
+  b.max_safe_coarsening = safe;
+  b.abort_threshold = safe == ~std::uint64_t{0} ? safe : safe + 1;
+  b.assoc_worst_case =
+      b.ways / std::max<std::uint64_t>(std::uint64_t{1}, b.write_elems);
+  return b;
+}
+
+}  // namespace
+
+std::vector<CapacityBound> capacity_bounds(
+    const std::vector<EffectSignature>& signatures, int degree, int chain) {
+  std::vector<CapacityBound> bounds;
+  const model::MachineConfig* machines[] = {&model::bgq(), &model::has_c(),
+                                            &model::has_p()};
+  for (const model::MachineConfig* machine : machines) {
+    for (model::HtmKind kind : machine->supported_htm) {
+      for (const EffectSignature& sig : signatures) {
+        bounds.push_back(bound_for(*machine, kind, sig, degree, chain));
+      }
+    }
+  }
+  return bounds;
+}
+
+}  // namespace aam::analysis

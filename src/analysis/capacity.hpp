@@ -1,0 +1,52 @@
+#pragma once
+
+// Machine-geometry capacity checker: intersects the static effect
+// signatures with the model:: machine descriptions to predict, per
+// operator × machine × HTM flavor, the largest coarsening factor whose
+// transactions provably fit the speculative capacity — and therefore the
+// smallest factor at which capacity aborts may begin.
+//
+// The bound is conservative in the element→line direction: every distinct
+// element is charged one full cache line (elements of a coarsened batch
+// are scattered across the simulated heap, so adjacency cannot be
+// assumed). Associativity is reported separately as a worst-case caveat:
+// with `ways`-way sets, `ways / write_elems` same-set-mapping transactions
+// already overflow one set even when total capacity is far away.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/signature.hpp"
+#include "model/machines.hpp"
+
+namespace aam::analysis {
+
+struct CapacityBound {
+  std::string machine;           ///< model::MachineConfig::name
+  model::HtmKind kind = model::HtmKind::kRtm;
+  core::OperatorId op = core::OperatorId::kUnknown;
+  std::size_t read_elems = 0;   ///< distinct elements read per invocation
+  std::size_t write_elems = 0;  ///< distinct elements written per invocation
+  std::uint64_t write_capacity_lines = 0;
+  std::uint64_t read_capacity_lines = 0;
+  std::uint32_t ways = 0;
+  /// Largest coarsening factor c with c·write_elems ≤ write capacity and
+  /// c·read_elems ≤ read capacity (one line per element).
+  std::uint64_t max_safe_coarsening = 0;
+  /// max_safe_coarsening + 1: the first factor at which capacity aborts
+  /// are statically possible.
+  std::uint64_t abort_threshold = 0;
+  /// Associativity caveat: coarsening factor at which one cache set could
+  /// overflow if every written element mapped to the same set.
+  std::uint64_t assoc_worst_case = 0;
+};
+
+/// Bounds for every machine in model::machines() × its supported HTM
+/// flavors × every signature, with element counts evaluated at
+/// (degree, chain).
+std::vector<CapacityBound> capacity_bounds(
+    const std::vector<EffectSignature>& signatures, int degree, int chain);
+
+}  // namespace aam::analysis

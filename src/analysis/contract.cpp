@@ -1,0 +1,75 @@
+#include "analysis/contract.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/signature.hpp"
+#include "util/check.hpp"
+
+namespace aam::analysis {
+
+namespace {
+
+bool contains(const std::vector<std::string>& labels, std::string_view label) {
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+void add_unique(std::vector<std::string>& labels, const std::string& label) {
+  if (!contains(labels, label)) labels.push_back(label);
+}
+
+constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(core::OperatorId::kStVisit) + 1;
+
+std::array<LabelContract, kNumOps> build_contracts() {
+  std::array<LabelContract, kNumOps> contracts;  // kUnknown stays empty
+  for (const EffectSignature& sig : analyze_all()) {
+    LabelContract& c = contracts[static_cast<std::size_t>(sig.op)];
+    for (const RegionSignature& region : sig.regions) {
+      if (!region.read_total().zero()) add_unique(c.read_labels, region.label);
+      if (!region.write_total().zero()) {
+        add_unique(c.write_labels, region.label);
+      }
+    }
+  }
+  return contracts;
+}
+
+std::string join(const std::vector<std::string>& labels) {
+  std::string out;
+  for (const std::string& label : labels) {
+    if (!out.empty()) out += ", ";
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LabelContract::may_read(std::string_view label) const {
+  return contains(read_labels, label) || contains(write_labels, label);
+}
+
+bool LabelContract::may_write(std::string_view label) const {
+  return contains(write_labels, label);
+}
+
+std::string LabelContract::read_labels_joined() const {
+  std::vector<std::string> all = read_labels;
+  for (const std::string& label : write_labels) add_unique(all, label);
+  return join(all);
+}
+
+std::string LabelContract::write_labels_joined() const {
+  return join(write_labels);
+}
+
+const LabelContract& label_contract(core::OperatorId op) {
+  static const std::array<LabelContract, kNumOps> contracts =
+      build_contracts();
+  const auto index = static_cast<std::size_t>(op);
+  AAM_CHECK(index < contracts.size());
+  return contracts[index];
+}
+
+}  // namespace aam::analysis

@@ -1,0 +1,36 @@
+#pragma once
+
+// Label contracts: the static effect signatures projected down to SimHeap
+// allocation labels, for the dynamic footprint auditor (check::Checker).
+// At batch commit the checker resolves every recorded word to its
+// allocation and asserts `dynamic ⊆ static`: a word outside the
+// operator's may-read/may-write label set is a static-escape violation —
+// either the operator body grew an access the abstract interpretation
+// does not model, or an algorithm mislabeled an allocation.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace aam::analysis {
+
+struct LabelContract {
+  std::vector<std::string> read_labels;   ///< labels the operator may read
+  std::vector<std::string> write_labels;  ///< labels the operator may write
+
+  /// Reads are implied by writes (cas and fetch_add read their target).
+  bool may_read(std::string_view label) const;
+  bool may_write(std::string_view label) const;
+
+  std::string read_labels_joined() const;
+  std::string write_labels_joined() const;
+};
+
+/// The contract for one operator, derived from analyze_all() on first use
+/// (magic static; cheap to call per batch). kUnknown gets an empty
+/// contract — callers skip untagged batches.
+const LabelContract& label_contract(core::OperatorId op);
+
+}  // namespace aam::analysis

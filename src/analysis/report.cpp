@@ -1,0 +1,216 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace aam::analysis {
+
+namespace {
+
+constexpr std::uint64_t kUnbounded = ~std::uint64_t{0};
+
+std::string coarsening_str(std::uint64_t value) {
+  return value == kUnbounded ? "inf" : std::to_string(value);
+}
+
+/// One cell summarizing a direction of a region: non-zero classes as
+/// `class=form` joined by spaces, or "-" when the region is not touched.
+std::string classes_str(const Linear (&by_class)[kNumIndexClasses]) {
+  std::string out;
+  for (std::size_t c = 0; c < kNumIndexClasses; ++c) {
+    if (by_class[c].zero()) continue;
+    if (!out.empty()) out += ' ';
+    out += to_string(static_cast<IndexClass>(c));
+    out += '=';
+    out += to_string(by_class[c]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string signature_table(const std::vector<EffectSignature>& signatures,
+                            int degree, int chain) {
+  util::Table table({"operator", "region", "label", "reads", "writes",
+                     "r@params", "w@params", "paths", "widened"});
+  for (const EffectSignature& sig : signatures) {
+    for (std::size_t r = 0; r < sig.regions.size(); ++r) {
+      const RegionSignature& region = sig.regions[r];
+      table.row()
+          .cell(r == 0 ? core::to_string(sig.op) : "")
+          .cell(region.name)
+          .cell(region.label)
+          .cell(classes_str(region.reads))
+          .cell(classes_str(region.writes))
+          .cell(static_cast<std::uint64_t>(
+              region.read_total().eval(degree, chain)))
+          .cell(static_cast<std::uint64_t>(
+              region.write_total().eval(degree, chain)))
+          .cell(r == 0 ? std::to_string(sig.paths) : "")
+          .cell(r == 0 ? (sig.widened ? "yes" : "no") : "");
+    }
+  }
+  return table.to_string();
+}
+
+std::string capacity_table(const std::vector<CapacityBound>& bounds) {
+  util::Table table({"machine", "htm", "operator", "reads", "writes", "wcap",
+                     "rcap", "c_safe", "abort_at", "assoc_wc"});
+  for (const CapacityBound& b : bounds) {
+    table.row()
+        .cell(b.machine)
+        .cell(model::to_string(b.kind))
+        .cell(core::to_string(b.op))
+        .cell(static_cast<std::uint64_t>(b.read_elems))
+        .cell(static_cast<std::uint64_t>(b.write_elems))
+        .cell(b.write_capacity_lines)
+        .cell(b.read_capacity_lines)
+        .cell(coarsening_str(b.max_safe_coarsening))
+        .cell(coarsening_str(b.abort_threshold))
+        .cell(b.assoc_worst_case);
+  }
+  return table.to_string();
+}
+
+void append_json_linear(std::string& out, const Linear& l) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"base\":%lld,\"per_degree\":%lld,\"per_chain\":%lld}",
+                l.base, l.per_degree, l.per_chain);
+  out += buf;
+}
+
+void append_json_classes(std::string& out,
+                         const Linear (&by_class)[kNumIndexClasses]) {
+  out += '{';
+  bool first = true;
+  for (std::size_t c = 0; c < kNumIndexClasses; ++c) {
+    if (by_class[c].zero()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += to_string(static_cast<IndexClass>(c));
+    out += "\":";
+    append_json_linear(out, by_class[c]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string render_table(const std::vector<EffectSignature>& signatures,
+                         const std::vector<CapacityBound>& bounds, int degree,
+                         int chain) {
+  std::string out;
+  out += "Static effect signatures (elements as linear forms in probe "
+         "degree d and widening bound c;\n@params columns evaluated at "
+         "degree=" + std::to_string(degree) + " chain=" +
+         std::to_string(chain) + ")\n\n";
+  out += signature_table(signatures, degree, chain);
+  out += "\nCapacity bounds per machine x HTM flavor (one line per "
+         "element; assoc_wc = same-set worst case)\n\n";
+  out += capacity_table(bounds);
+  return out;
+}
+
+std::string render_json(const std::vector<EffectSignature>& signatures,
+                        const std::vector<CapacityBound>& bounds, int degree,
+                        int chain) {
+  std::string out = "{\"params\":{\"degree\":" + std::to_string(degree) +
+                    ",\"chain\":" + std::to_string(chain) +
+                    "},\"signatures\":[";
+  for (std::size_t s = 0; s < signatures.size(); ++s) {
+    const EffectSignature& sig = signatures[s];
+    if (s > 0) out += ',';
+    out += "{\"operator\":\"";
+    out += core::to_string(sig.op);
+    out += "\",\"paths\":" + std::to_string(sig.paths) +
+           ",\"widened\":" + (sig.widened ? std::string("true")
+                                          : std::string("false")) +
+           ",\"regions\":[";
+    for (std::size_t r = 0; r < sig.regions.size(); ++r) {
+      const RegionSignature& region = sig.regions[r];
+      if (r > 0) out += ',';
+      out += "{\"name\":\"" + region.name + "\",\"label\":\"" + region.label +
+             "\",\"reads\":";
+      append_json_classes(out, region.reads);
+      out += ",\"writes\":";
+      append_json_classes(out, region.writes);
+      out += ",\"read_elems\":" +
+             std::to_string(region.read_total().eval(degree, chain)) +
+             ",\"write_elems\":" +
+             std::to_string(region.write_total().eval(degree, chain)) + "}";
+    }
+    out += "]}";
+  }
+  out += "],\"capacity\":[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const CapacityBound& b = bounds[i];
+    if (i > 0) out += ',';
+    out += "{\"machine\":\"" + b.machine + "\",\"htm\":\"";
+    out += model::to_string(b.kind);
+    out += "\",\"operator\":\"";
+    out += core::to_string(b.op);
+    out += "\",\"read_elems\":" + std::to_string(b.read_elems) +
+           ",\"write_elems\":" + std::to_string(b.write_elems) +
+           ",\"write_capacity_lines\":" +
+           std::to_string(b.write_capacity_lines) +
+           ",\"read_capacity_lines\":" +
+           std::to_string(b.read_capacity_lines) +
+           ",\"max_safe_coarsening\":";
+    out += b.max_safe_coarsening == kUnbounded
+               ? "null"
+               : std::to_string(b.max_safe_coarsening);
+    out += ",\"abort_threshold\":";
+    out += b.abort_threshold == kUnbounded
+               ? "null"
+               : std::to_string(b.abort_threshold);
+    out += ",\"assoc_worst_case\":" + std::to_string(b.assoc_worst_case) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_golden(const std::vector<EffectSignature>& signatures,
+                          const std::vector<CapacityBound>& bounds, int degree,
+                          int chain) {
+  std::string out;
+  out += "# Static effect signatures -- golden reference.\n";
+  out += "# Generated by aam_analyze; compared by exact string equality.\n";
+  out += "# Regenerate after intentional operator or analysis changes:\n";
+  out += "#   ./build/tools/aam_analyze --write-golden "
+         "tests/golden/effect_signatures.txt\n";
+  out += "# params degree=" + std::to_string(degree) +
+         " chain=" + std::to_string(chain) + "\n";
+  for (const EffectSignature& sig : signatures) {
+    out += "operator ";
+    out += core::to_string(sig.op);
+    out += " paths=" + std::to_string(sig.paths) +
+           " widened=" + (sig.widened ? "yes" : "no") + "\n";
+    for (const RegionSignature& region : sig.regions) {
+      out += "  region " + region.name + " label=" + region.label + "\n";
+      out += "    reads  " + classes_str(region.reads) + " total=" +
+             to_string(region.read_total()) + " @params=" +
+             std::to_string(region.read_total().eval(degree, chain)) + "\n";
+      out += "    writes " + classes_str(region.writes) + " total=" +
+             to_string(region.write_total()) + " @params=" +
+             std::to_string(region.write_total().eval(degree, chain)) + "\n";
+    }
+  }
+  for (const CapacityBound& b : bounds) {
+    out += "capacity machine=" + b.machine + " htm=";
+    out += model::to_string(b.kind);
+    out += " op=";
+    out += core::to_string(b.op);
+    out += " reads=" + std::to_string(b.read_elems) +
+           " writes=" + std::to_string(b.write_elems) +
+           " wcap=" + std::to_string(b.write_capacity_lines) +
+           " rcap=" + std::to_string(b.read_capacity_lines) +
+           " c_safe=" + coarsening_str(b.max_safe_coarsening) +
+           " abort_at=" + coarsening_str(b.abort_threshold) +
+           " assoc_wc=" + std::to_string(b.assoc_worst_case) + "\n";
+  }
+  return out;
+}
+
+}  // namespace aam::analysis

@@ -1,0 +1,32 @@
+#pragma once
+
+// Renderers for the static analysis results: the human-readable table
+// (aam_analyze default output), a JSON dump, and the golden reference
+// format that CI diffs against tests/golden/effect_signatures.txt.
+
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.hpp"
+#include "analysis/signature.hpp"
+
+namespace aam::analysis {
+
+/// Aligned console tables: signatures then capacity bounds.
+std::string render_table(const std::vector<EffectSignature>& signatures,
+                         const std::vector<CapacityBound>& bounds, int degree,
+                         int chain);
+
+/// Machine-readable dump of the same data.
+std::string render_json(const std::vector<EffectSignature>& signatures,
+                        const std::vector<CapacityBound>& bounds, int degree,
+                        int chain);
+
+/// Golden reference format: a comment header documenting the regeneration
+/// command, then a line-oriented deterministic rendering. Compared by
+/// exact string equality.
+std::string render_golden(const std::vector<EffectSignature>& signatures,
+                          const std::vector<CapacityBound>& bounds, int degree,
+                          int chain);
+
+}  // namespace aam::analysis

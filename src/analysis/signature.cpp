@@ -1,0 +1,389 @@
+#include "analysis/signature.hpp"
+
+#include <bit>
+#include <numeric>
+#include <utility>
+
+#include "algorithms/operators.hpp"
+#include "graph/csr.hpp"
+#include "util/check.hpp"
+
+namespace aam::analysis {
+
+namespace {
+
+namespace ops = aam::algorithms::ops;
+using graph::Vertex;
+
+IndexClass self_only(std::size_t /*index*/) { return IndexClass::kSelf; }
+
+IndexClass self_or_neighbor(std::size_t index) {
+  return index == 0 ? IndexClass::kSelf : IndexClass::kNeighbor;
+}
+
+/// Star graph: vertex 0 with neighbors 1..d (the probe topology for the
+/// neighborhood-shaped operators).
+graph::Graph star_graph(int degree) {
+  graph::EdgeList edges;
+  for (int i = 1; i <= degree; ++i) {
+    edges.emplace_back(Vertex{0}, static_cast<Vertex>(i));
+  }
+  return graph::Graph::from_edges(static_cast<Vertex>(1 + degree), edges,
+                                  /*undirected=*/true);
+}
+
+struct Probe {
+  std::vector<Interpreter::RegionEffect> effects;
+  bool widened = false;
+  std::size_t paths = 0;
+};
+
+Probe finish(Interpreter& interp) {
+  return Probe{interp.effects(), interp.widened(), interp.paths()};
+}
+
+// --- one harness per operator body ------------------------------------
+
+// bfs_visit: a single cas on parent[w]. Symbolic: a concurrent activity
+// may have claimed w first, so the cas forks.
+Probe probe_bfs(Interpreter::Params params) {
+  Interpreter interp(params);
+  std::vector<Vertex> parent(1, graph::kInvalidVertex);
+  Region r;
+  r.name = r.label = "bfs.parent";
+  r.base = reinterpret_cast<const std::byte*>(parent.data());
+  r.elem_bytes = sizeof(Vertex);
+  r.count = parent.size();
+  r.symbolic = true;
+  r.classify = self_only;
+  interp.register_region(std::move(r));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::bfs_visit(acc, std::span<Vertex>(parent), /*w=*/0, /*u=*/7);
+  });
+  return finish(interp);
+}
+
+// sssp_relax: load-compare-cas retry loop on distance[v]. The load either
+// observes a value at or below the candidate (stale relaxation: return)
+// or above it (proceed to cas); cas failure re-enters the loop, bounded
+// by the widening budget.
+Probe probe_sssp(Interpreter::Params params) {
+  Interpreter interp(params);
+  constexpr double kCandidate = 10.0;
+  std::vector<double> distance(1, 100.0);
+  Region r;
+  r.name = r.label = "sssp.distance";
+  r.base = reinterpret_cast<const std::byte*>(distance.data());
+  r.elem_bytes = sizeof(double);
+  r.count = distance.size();
+  r.symbolic = true;
+  r.classify = self_only;
+  r.candidates = [](Interpreter& in, std::size_t /*index*/,
+                    std::vector<Candidate>& out) {
+    out.push_back({std::bit_cast<std::uint64_t>(kCandidate - 1),
+                   Candidate::Kind::kPlain});  // terminating: stale candidate
+    if (auto loop = in.loop_candidate(
+            std::bit_cast<std::uint64_t>(kCandidate + 1))) {
+      out.push_back(*loop);  // improvable: proceed to the cas
+    }
+  };
+  interp.register_region(std::move(r));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::sssp_relax(acc, std::span<double>(distance), /*v=*/0, kCandidate);
+  });
+  return finish(interp);
+}
+
+/// Union-find probe region: element 0 is u's start (kSelf), element 1 —
+/// when present — is v's start (kPeer), elements from `chain_base` up are
+/// materialized lazily by widened root walks (kChain). The backing makes
+/// every element its own root; a load may instead observe a fresh chain
+/// element (another activity re-parented the node meanwhile).
+Region uf_region(std::vector<Vertex>& parent, std::size_t chain_base) {
+  std::iota(parent.begin(), parent.end(), Vertex{0});
+  Region r;
+  r.name = r.label = "boruvka.parent";
+  r.base = reinterpret_cast<const std::byte*>(parent.data());
+  r.elem_bytes = sizeof(Vertex);
+  r.count = parent.size();
+  r.symbolic = true;
+  r.chain_base = chain_base;
+  r.classify = [chain_base](std::size_t index) {
+    if (index >= chain_base) return IndexClass::kChain;
+    return index == 0 ? IndexClass::kSelf : IndexClass::kPeer;
+  };
+  r.candidates = [](Interpreter& in, std::size_t index,
+                    std::vector<Candidate>& out) {
+    out.push_back({index, Candidate::Kind::kPlain});  // own root: terminate
+    if (auto chain = in.chain_candidate(0)) out.push_back(*chain);
+  };
+  return r;
+}
+
+Probe probe_uf_root(Interpreter::Params params) {
+  Interpreter interp(params);
+  std::vector<Vertex> parent(1 + static_cast<std::size_t>(params.chain));
+  interp.register_region(uf_region(parent, /*chain_base=*/1));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::uf_root(acc, std::span<Vertex>(parent), /*v=*/0);
+  });
+  return finish(interp);
+}
+
+Probe probe_uf_union(Interpreter::Params params) {
+  Interpreter interp(params);
+  std::vector<Vertex> parent(2 + static_cast<std::size_t>(params.chain));
+  interp.register_region(uf_region(parent, /*chain_base=*/2));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::uf_union(acc, std::span<Vertex>(parent), /*u=*/0, /*v=*/1);
+  });
+  return finish(interp);
+}
+
+// pagerank_push: deterministic (no forks) — one fetch_add on the own
+// element, one load of the stale rank, one fetch_add per neighbor.
+Probe probe_pagerank(Interpreter::Params params) {
+  Interpreter interp(params);
+  const auto g = star_graph(params.degree);
+  const std::size_t n = 1 + static_cast<std::size_t>(params.degree);
+  std::vector<double> old_rank(n, 1.0);
+  std::vector<double> new_rank(n, 0.0);
+  for (int which = 0; which < 2; ++which) {
+    const auto& vec = which == 0 ? old_rank : new_rank;
+    Region r;
+    r.name = which == 0 ? "pagerank.old_rank" : "pagerank.new_rank";
+    r.label = "pagerank.rank";
+    r.base = reinterpret_cast<const std::byte*>(vec.data());
+    r.elem_bytes = sizeof(double);
+    r.count = vec.size();
+    r.classify = self_or_neighbor;
+    interp.register_region(std::move(r));
+  }
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::pagerank_push(acc, g, std::span<const double>(old_rank),
+                       std::span<double>(new_rank), /*v=*/0, /*base=*/0.15,
+                       /*damping=*/0.85);
+  });
+  return finish(interp);
+}
+
+// color_assign: stores the tentative color, then loads every neighbor's
+// color; each load forks on clash / no-clash (2^d paths). The footprint
+// is path-independent; the forks exercise both emit arms.
+Probe probe_coloring(Interpreter::Params params) {
+  Interpreter interp(params);
+  const auto g = star_graph(params.degree);
+  constexpr std::uint32_t kTentative = 5;
+  std::vector<std::uint32_t> color(1 + static_cast<std::size_t>(params.degree),
+                                   0);
+  Region r;
+  r.name = r.label = "coloring.color";
+  r.base = reinterpret_cast<const std::byte*>(color.data());
+  r.elem_bytes = sizeof(std::uint32_t);
+  r.count = color.size();
+  r.symbolic = true;
+  r.classify = self_or_neighbor;
+  r.candidates = [](Interpreter& /*in*/, std::size_t index,
+                    std::vector<Candidate>& out) {
+    if (index == 0) return;  // own element: only read back via the buffer
+    out.push_back({kTentative + 1, Candidate::Kind::kPlain});  // no clash
+    out.push_back({kTentative, Candidate::Kind::kPlain});      // clash
+  };
+  interp.register_region(std::move(r));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::color_assign(acc, g, std::span<std::uint32_t>(color), /*v=*/0,
+                      kTentative, /*coin=*/true);
+  });
+  return finish(interp);
+}
+
+// st_visit: one load of color[v] (white / own wave / other wave), then a
+// cas claim on the white path.
+Probe probe_st(Interpreter::Params params) {
+  Interpreter interp(params);
+  constexpr std::uint32_t kWhite = 0, kWave = 1, kOtherWave = 2;
+  std::vector<std::uint32_t> color(1, kWhite);
+  Region r;
+  r.name = r.label = "stconn.color";
+  r.base = reinterpret_cast<const std::byte*>(color.data());
+  r.elem_bytes = sizeof(std::uint32_t);
+  r.count = color.size();
+  r.symbolic = true;
+  r.classify = self_only;
+  r.candidates = [](Interpreter& /*in*/, std::size_t /*index*/,
+                    std::vector<Candidate>& out) {
+    out.push_back({kWhite, Candidate::Kind::kPlain});
+    out.push_back({kWave, Candidate::Kind::kPlain});
+    out.push_back({kOtherWave, Candidate::Kind::kPlain});
+  };
+  interp.register_region(std::move(r));
+  AbstractAccess acc(interp);
+  interp.enumerate([&] {
+    ops::st_visit(acc, std::span<std::uint32_t>(color), /*v=*/0, kWave,
+                  kWhite, /*hit_mark=*/~std::uint64_t{0}, /*claim_token=*/1);
+  });
+  return finish(interp);
+}
+
+Probe run_probe(core::OperatorId op, Interpreter::Params params) {
+  switch (op) {
+    case core::OperatorId::kBfsVisit: return probe_bfs(params);
+    case core::OperatorId::kPagerankPush: return probe_pagerank(params);
+    case core::OperatorId::kSsspRelax: return probe_sssp(params);
+    case core::OperatorId::kUfRoot: return probe_uf_root(params);
+    case core::OperatorId::kUfUnion: return probe_uf_union(params);
+    case core::OperatorId::kColorAssign: return probe_coloring(params);
+    case core::OperatorId::kStVisit: return probe_st(params);
+    case core::OperatorId::kUnknown: break;
+  }
+  AAM_CHECK_MSG(false, "no probe harness for operator");
+  return {};
+}
+
+// --- linear fit over the probe grid -----------------------------------
+
+// Probe parameters. A is the base; B varies degree, C varies the chain
+// bound; V is a held-out verification point.
+constexpr Interpreter::Params kProbeA{.degree = 2, .chain = 2};
+constexpr Interpreter::Params kProbeB{.degree = 5, .chain = 2};
+constexpr Interpreter::Params kProbeC{.degree = 2, .chain = 4};
+constexpr Interpreter::Params kProbeV{.degree = 3, .chain = 3};
+
+Linear fit_linear(std::size_t at_a, std::size_t at_b, std::size_t at_c) {
+  const auto fa = static_cast<long long>(at_a);
+  const auto fb = static_cast<long long>(at_b);
+  const auto fc = static_cast<long long>(at_c);
+  const long long dd = kProbeB.degree - kProbeA.degree;
+  const long long dc = kProbeC.chain - kProbeA.chain;
+  AAM_CHECK_MSG((fb - fa) % dd == 0, "effect count not linear in degree");
+  AAM_CHECK_MSG((fc - fa) % dc == 0, "effect count not linear in chain bound");
+  Linear l;
+  l.per_degree = (fb - fa) / dd;
+  l.per_chain = (fc - fa) / dc;
+  l.base = fa - l.per_degree * kProbeA.degree - l.per_chain * kProbeA.chain;
+  return l;
+}
+
+}  // namespace
+
+const char* to_string(IndexClass c) {
+  switch (c) {
+    case IndexClass::kSelf: return "self";
+    case IndexClass::kPeer: return "peer";
+    case IndexClass::kNeighbor: return "neighbor";
+    case IndexClass::kChain: return "chain";
+  }
+  return "?";
+}
+
+std::size_t Linear::eval(int degree, int chain) const {
+  const long long v = base + per_degree * degree + per_chain * chain;
+  AAM_CHECK(v >= 0);
+  return static_cast<std::size_t>(v);
+}
+
+std::string to_string(const Linear& l) {
+  std::string out;
+  auto term = [&out](long long coeff, const char* var) {
+    if (coeff == 0) return;
+    if (!out.empty()) out += '+';
+    if (coeff != 1 || var[0] == '\0') out += std::to_string(coeff);
+    out += var;
+  };
+  term(l.base, "");
+  term(l.per_degree, "d");
+  term(l.per_chain, "c");
+  return out.empty() ? "0" : out;
+}
+
+Linear RegionSignature::read_total() const {
+  Linear t;
+  for (const Linear& l : reads) {
+    t.base += l.base;
+    t.per_degree += l.per_degree;
+    t.per_chain += l.per_chain;
+  }
+  return t;
+}
+
+Linear RegionSignature::write_total() const {
+  Linear t;
+  for (const Linear& l : writes) {
+    t.base += l.base;
+    t.per_degree += l.per_degree;
+    t.per_chain += l.per_chain;
+  }
+  return t;
+}
+
+std::size_t EffectSignature::read_elems(int degree, int chain) const {
+  std::size_t total = 0;
+  for (const RegionSignature& r : regions) {
+    total += r.read_total().eval(degree, chain);
+  }
+  return total;
+}
+
+std::size_t EffectSignature::write_elems(int degree, int chain) const {
+  std::size_t total = 0;
+  for (const RegionSignature& r : regions) {
+    total += r.write_total().eval(degree, chain);
+  }
+  return total;
+}
+
+EffectSignature analyze(core::OperatorId op) {
+  const Probe a = run_probe(op, kProbeA);
+  const Probe b = run_probe(op, kProbeB);
+  const Probe c = run_probe(op, kProbeC);
+  const Probe v = run_probe(op, kProbeV);
+  AAM_CHECK(a.effects.size() == b.effects.size() &&
+            a.effects.size() == c.effects.size() &&
+            a.effects.size() == v.effects.size());
+
+  EffectSignature sig;
+  sig.op = op;
+  sig.widened = a.widened || b.widened || c.widened || v.widened;
+  sig.paths = a.paths;
+  sig.probe_degree = kProbeA.degree;
+  sig.probe_chain = kProbeA.chain;
+  for (std::size_t r = 0; r < a.effects.size(); ++r) {
+    RegionSignature rs;
+    rs.name = a.effects[r].name;
+    rs.label = a.effects[r].label;
+    for (std::size_t cls = 0; cls < kNumIndexClasses; ++cls) {
+      rs.reads[cls] = fit_linear(a.effects[r].reads[cls],
+                                 b.effects[r].reads[cls],
+                                 c.effects[r].reads[cls]);
+      rs.writes[cls] = fit_linear(a.effects[r].writes[cls],
+                                  b.effects[r].writes[cls],
+                                  c.effects[r].writes[cls]);
+      // Held-out verification: the fitted form must reproduce a probe
+      // point that did not participate in the fit.
+      AAM_CHECK_MSG(rs.reads[cls].eval(kProbeV.degree, kProbeV.chain) ==
+                        v.effects[r].reads[cls],
+                    "read-count fit failed held-out verification");
+      AAM_CHECK_MSG(rs.writes[cls].eval(kProbeV.degree, kProbeV.chain) ==
+                        v.effects[r].writes[cls],
+                    "write-count fit failed held-out verification");
+    }
+    sig.regions.push_back(std::move(rs));
+  }
+  return sig;
+}
+
+std::vector<EffectSignature> analyze_all() {
+  std::vector<EffectSignature> sigs;
+  for (core::OperatorId op : core::all_operator_ids()) {
+    sigs.push_back(analyze(op));
+  }
+  return sigs;
+}
+
+}  // namespace aam::analysis

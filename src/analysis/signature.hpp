@@ -1,0 +1,73 @@
+#pragma once
+
+// Per-operator static effect signatures.
+//
+// analyze(op) abstractly interprets one operator body (abstract_access.hpp)
+// at several small probe parameters, fits the per-region/per-class element
+// counts to the linear form `base + per_degree·d + per_chain·Λ` (d = probe
+// degree, Λ = widening bound), cross-checks the fit against a fourth probe,
+// and returns the closed form. The closed form is what everything else
+// consumes: the golden table, the capacity checker, and the dynamic
+// footprint auditor's label contracts.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/abstract_access.hpp"
+#include "core/executor.hpp"
+
+namespace aam::analysis {
+
+/// Element count as a linear form in the probe degree d and the widening
+/// bound Λ (chain). Exact for every operator in the suite — the fit
+/// aborts if an operator's footprint is not affine in (d, Λ).
+struct Linear {
+  long long base = 0;
+  long long per_degree = 0;
+  long long per_chain = 0;
+
+  std::size_t eval(int degree, int chain) const;
+  bool zero() const { return base == 0 && per_degree == 0 && per_chain == 0; }
+  bool operator==(const Linear&) const = default;
+};
+
+/// Renders e.g. "1", "d", "1+d", "2+c".
+std::string to_string(const Linear& l);
+
+/// One simulated-heap region the operator may touch, with closed-form
+/// distinct-element counts split by index class.
+struct RegionSignature {
+  std::string name;   ///< display name (distinguishes same-label arrays)
+  std::string label;  ///< SimHeap allocation label
+  Linear reads[kNumIndexClasses];
+  Linear writes[kNumIndexClasses];
+
+  Linear read_total() const;
+  Linear write_total() const;
+};
+
+struct EffectSignature {
+  core::OperatorId op = core::OperatorId::kUnknown;
+  std::vector<RegionSignature> regions;
+  bool widened = false;   ///< some path exhausted the widening budget
+  std::size_t paths = 0;  ///< paths explored at the base probe
+  int probe_degree = 0;   ///< base probe parameters
+  int probe_chain = 0;
+
+  /// Total distinct elements read/written per invocation at (degree, chain),
+  /// summed over regions and classes.
+  std::size_t read_elems(int degree, int chain) const;
+  std::size_t write_elems(int degree, int chain) const;
+};
+
+/// Analyzes one operator. Aborts (AAM_CHECK) on non-affine footprints or
+/// fit/verify mismatches — a failure here means an operator body changed
+/// in a way the abstract domain does not cover, which is exactly what the
+/// golden diff in CI is meant to surface.
+EffectSignature analyze(core::OperatorId op);
+
+/// Signatures for every operator id, in core::all_operator_ids() order.
+std::vector<EffectSignature> analyze_all();
+
+}  // namespace aam::analysis

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <ostream>
 
+#include "analysis/contract.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -98,6 +99,7 @@ const char* to_string(Violation::Kind kind) {
     case Violation::Kind::kEscapedWrite: return "escaped-write";
     case Violation::Kind::kSerialDivergence: return "serial-divergence";
     case Violation::Kind::kFootprintMismatch: return "footprint-mismatch";
+    case Violation::Kind::kStaticEscape: return "static-escape";
   }
   return "?";
 }
@@ -332,9 +334,10 @@ class CheckedExecutor final : public core::ActivityExecutor {
   core::AdaptiveBatch* adaptive() const override { return inner_->adaptive(); }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               core::OperatorId op_id = core::OperatorId::kUnknown) override {
     const std::uint32_t tid = ctx.thread_id();
-    checker_.begin_batch(tid);
+    checker_.begin_batch(tid, op_id);
     // One shared copy of the user operator: the recording wrapper needs it
     // during (possibly re-executed) attempts, the done hook for the serial
     // replay after commit.
@@ -369,6 +372,8 @@ Checker::Checker(htm::DesMachine& machine, CheckConfig config)
       record_batches_(config.serial || config.footprint) {
   AAM_CHECK(config_.scan_interval >= 1);
   records_.resize(static_cast<std::size_t>(machine.num_threads()));
+  footprint_stats_.resize(
+      static_cast<std::size_t>(core::OperatorId::kStVisit) + 1);
   if (config_.races) {
     AAM_CHECK_MSG(machine_.write_observer() == nullptr,
                   "the machine already has a write observer");
@@ -402,7 +407,10 @@ void Checker::on_run_start() {
   legit_.clear();
 }
 
-void Checker::begin_batch(std::uint32_t tid) { begin_attempt(tid); }
+void Checker::begin_batch(std::uint32_t tid, core::OperatorId op_id) {
+  records_[tid].op_id = op_id;
+  begin_attempt(tid);
+}
 
 void Checker::begin_attempt(std::uint32_t tid) {
   BatchRecord& rec = records_[tid];
@@ -423,6 +431,10 @@ void Checker::on_batch_done(std::uint32_t tid, core::Mechanism mechanism,
   if (config_.footprint) {
     if (mechanism == core::Mechanism::kHtmCoarsened && count > 0) {
       audit_footprint_for(tid, batch_no);
+    }
+    if (count > 0 && rec.op_id != core::OperatorId::kUnknown) {
+      audit_static_signature(tid, batch_no);
+      update_footprint_stats(tid, mechanism, count);
     }
     fold_digest(rec, count);
   }
@@ -463,6 +475,64 @@ void Checker::audit_footprint_for(std::uint32_t tid, std::uint64_t batch_no) {
                  static_cast<unsigned long long>(word),
                  static_cast<unsigned long long>(unit)));
     }
+  }
+}
+
+void Checker::audit_static_signature(std::uint32_t tid,
+                                     std::uint64_t batch_no) {
+  const BatchRecord& rec = records_[tid];
+  const analysis::LabelContract& contract =
+      analysis::label_contract(rec.op_id);
+  const mem::SimHeap& heap = machine_.heap();
+  for (std::uint64_t word : rec.write_words) {
+    const mem::SimHeap::AllocRecord* alloc = heap.find_alloc(word);
+    if (alloc == nullptr || !contract.may_write(alloc->label)) {
+      add_violation(
+          Violation::Kind::kStaticEscape, batch_no, word,
+          format("operator %s wrote %s (offset 0x%llx), outside its static "
+                 "may-write label set {%s}",
+                 core::to_string(rec.op_id), heap.describe(word).c_str(),
+                 static_cast<unsigned long long>(word),
+                 contract.write_labels_joined().c_str()));
+    }
+  }
+  for (std::uint64_t word : rec.read_words) {
+    const mem::SimHeap::AllocRecord* alloc = heap.find_alloc(word);
+    if (alloc == nullptr || !contract.may_read(alloc->label)) {
+      add_violation(
+          Violation::Kind::kStaticEscape, batch_no, word,
+          format("operator %s read %s (offset 0x%llx), outside its static "
+                 "may-read label set {%s}",
+                 core::to_string(rec.op_id), heap.describe(word).c_str(),
+                 static_cast<unsigned long long>(word),
+                 contract.read_labels_joined().c_str()));
+    }
+  }
+}
+
+void Checker::update_footprint_stats(std::uint32_t tid,
+                                     core::Mechanism mechanism,
+                                     std::uint64_t count) {
+  const BatchRecord& rec = records_[tid];
+  FootprintStats& stats =
+      footprint_stats_[static_cast<std::size_t>(rec.op_id)];
+  ++stats.batches;
+  if (rec.read_words.size() > stats.max_read_words) {
+    stats.max_read_words = rec.read_words.size();
+    stats.items_at_max_read = count;
+  }
+  if (rec.write_words.size() > stats.max_write_words) {
+    stats.max_write_words = rec.write_words.size();
+    stats.items_at_max_write = count;
+  }
+  if (mechanism == core::Mechanism::kHtmCoarsened) {
+    const mem::FootprintTracker& tracker = machine_.thread_footprint(tid);
+    stats.max_read_lines =
+        std::max<std::uint64_t>(stats.max_read_lines,
+                                tracker.distinct_read_lines());
+    stats.max_write_lines =
+        std::max<std::uint64_t>(stats.max_write_lines,
+                                tracker.distinct_write_lines());
   }
 }
 

@@ -87,6 +87,7 @@ struct Violation {
     kEscapedWrite,       ///< committed memory changed outside all channels
     kSerialDivergence,   ///< batch outcome != serial re-execution outcome
     kFootprintMismatch,  ///< access outside the declared conflict sets
+    kStaticEscape,       ///< access outside the operator's static signature
   };
   Kind kind;
   std::uint64_t batch = 0;   ///< global batch (activity) sequence number
@@ -134,6 +135,26 @@ class Checker final : public core::ExecutorDecorator,
   /// deterministic simulation must produce identical digests.
   std::uint64_t digest() const { return digest_; }
 
+  /// Per-operator maxima over all committed batches tagged with a known
+  /// OperatorId (footprint mode). The word counts come from the recording
+  /// wrapper (operator-surface accesses only); the line counts from the
+  /// HTM tracker at commit time, so they are zero for non-transactional
+  /// mechanisms. `items_at_max_*` is the batch size of the batch that
+  /// achieved the corresponding word maximum — the pair lets tests bound
+  /// per-batch footprints against `count x per-item static signature`.
+  struct FootprintStats {
+    std::uint64_t batches = 0;
+    std::uint64_t max_read_words = 0;
+    std::uint64_t items_at_max_read = 0;
+    std::uint64_t max_write_words = 0;
+    std::uint64_t items_at_max_write = 0;
+    std::uint64_t max_read_lines = 0;
+    std::uint64_t max_write_lines = 0;
+  };
+  const FootprintStats& footprint_stats(core::OperatorId op) const {
+    return footprint_stats_[static_cast<std::size_t>(op)];
+  }
+
   /// Writes every stored violation (plus a summary line) to `out`.
   void report(std::ostream& out) const;
 
@@ -155,14 +176,21 @@ class Checker final : public core::ExecutorDecorator,
     std::vector<std::uint64_t> write_words;  ///< first-write order
     bool transactional = false;
     bool foreign = false;  ///< an Access touched memory off the SimHeap
+    core::OperatorId op_id = core::OperatorId::kUnknown;
   };
 
-  void begin_batch(std::uint32_t tid);
+  void begin_batch(std::uint32_t tid, core::OperatorId op_id);
   void begin_attempt(std::uint32_t tid);
   void on_batch_done(std::uint32_t tid, core::Mechanism mechanism,
                      std::uint64_t count,
                      const core::ActivityExecutor::ItemOp& op,
                      std::span<const std::uint64_t> results);
+
+  /// dynamic-vs-static audit: every recorded word must fall in a heap
+  /// allocation whose label the operator's static signature covers.
+  void audit_static_signature(std::uint32_t tid, std::uint64_t batch_no);
+  void update_footprint_stats(std::uint32_t tid, core::Mechanism mechanism,
+                              std::uint64_t count);
 
   void replay_serial(BatchRecord& rec, std::uint64_t count,
                      const core::ActivityExecutor::ItemOp& op,
@@ -204,6 +232,10 @@ class Checker final : public core::ExecutorDecorator,
   std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
   std::vector<Violation> violations_;
   std::uint64_t violations_total_ = 0;
+
+  // footprint: per-OperatorId maxima (indexed by the enum value; slot 0 =
+  // kUnknown stays untouched).
+  std::vector<FootprintStats> footprint_stats_;
 };
 
 }  // namespace aam::check

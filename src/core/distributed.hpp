@@ -65,12 +65,12 @@ class DistributedRuntime {
   /// is instantiated against the concrete executor's access type on the
   /// fast path and against core::Access under a check decorator.
   template <typename Op>
-  void set_operator(Op op) {
+  void set_operator(Op op, OperatorId op_id = OperatorId::kUnknown) {
     mode_ = Mode::kFf;
     on_result_ = nullptr;
     op_plain_ = nullptr;
-    exec_fn_ = [this, op = std::move(op)](htm::ThreadCtx& ctx,
-                                          Batch batch) mutable {
+    exec_fn_ = [this, op = std::move(op), op_id](htm::ThreadCtx& ctx,
+                                                 Batch batch) mutable {
       // One coarse activity per batch (coalesced, §5.6), applied under
       // the configured mechanism. The count must be read before the
       // move-capture below empties batch.items (function arguments are
@@ -80,7 +80,8 @@ class DistributedRuntime {
                     [&op, items = std::move(batch.items)](
                         auto& access, std::uint64_t i) {
                       op(access, items[i]);
-                    });
+                    },
+                    {}, op_id);
     };
   }
 
@@ -88,12 +89,13 @@ class DistributedRuntime {
   /// coloring, Boruvka styles). Same genericity requirement as
   /// set_operator; the handler stays type-erased (rare, per-result).
   template <typename Op>
-  void set_operator_fr(Op op, FailureHandler on_result) {
+  void set_operator_fr(Op op, FailureHandler on_result,
+                       OperatorId op_id = OperatorId::kUnknown) {
     mode_ = Mode::kFr;
     on_result_ = std::move(on_result);
     op_plain_ = nullptr;
-    exec_fn_ = [this, op = std::move(op)](htm::ThreadCtx& ctx,
-                                          Batch batch) mutable {
+    exec_fn_ = [this, op = std::move(op), op_id](htm::ThreadCtx& ctx,
+                                                 Batch batch) mutable {
       // Non-zero per-item results are emitted through the executor (which
       // keeps them re-execution-safe) and flow back to the spawner. The
       // count must be read before the move-capture empties batch.items.
@@ -109,7 +111,8 @@ class DistributedRuntime {
           [this, reply_node](htm::ThreadCtx& done_ctx,
                              std::span<const std::uint64_t> results) {
             reply(done_ctx, reply_node, results);
-          });
+          },
+          op_id);
     };
   }
 

@@ -16,6 +16,12 @@ constexpr Mechanism kAllMechanisms[] = {
     Mechanism::kSerialLock, Mechanism::kStm,
 };
 
+constexpr OperatorId kAllOperatorIds[] = {
+    OperatorId::kBfsVisit,  OperatorId::kPagerankPush, OperatorId::kSsspRelax,
+    OperatorId::kUfRoot,    OperatorId::kUfUnion,      OperatorId::kColorAssign,
+    OperatorId::kStVisit,
+};
+
 }  // namespace
 
 const char* to_string(Mechanism mechanism) {
@@ -37,6 +43,22 @@ std::optional<Mechanism> parse_mechanism(std::string_view name) {
 }
 
 std::span<const Mechanism> all_mechanisms() { return kAllMechanisms; }
+
+const char* to_string(OperatorId op) {
+  switch (op) {
+    case OperatorId::kUnknown: return "?";
+    case OperatorId::kBfsVisit: return "bfs_visit";
+    case OperatorId::kPagerankPush: return "pagerank_push";
+    case OperatorId::kSsspRelax: return "sssp_relax";
+    case OperatorId::kUfRoot: return "uf_root";
+    case OperatorId::kUfUnion: return "uf_union";
+    case OperatorId::kColorAssign: return "color_assign";
+    case OperatorId::kStVisit: return "st_visit";
+  }
+  return "?";
+}
+
+std::span<const OperatorId> all_operator_ids() { return kAllOperatorIds; }
 
 std::string mechanism_names() {
   std::string names;

@@ -51,6 +51,28 @@ enum class Mechanism {
   kStm,
 };
 
+/// Identity of the operator body a batch executes. Call sites that route a
+/// named operator from algorithms/operators.hpp tag their batches so the
+/// check:: layer can hold the dynamic footprint against the operator's
+/// static effect signature (src/analysis/). kUnknown batches (ad-hoc
+/// lambdas, baselines) are executed identically but skip that audit.
+enum class OperatorId : std::uint8_t {
+  kUnknown = 0,
+  kBfsVisit,
+  kPagerankPush,
+  kSsspRelax,
+  kUfRoot,
+  kUfUnion,
+  kColorAssign,
+  kStVisit,
+};
+
+/// Canonical operator names ("bfs_visit", ...); "?" for kUnknown.
+const char* to_string(OperatorId op);
+
+/// The analyzable operators, in enum order (excludes kUnknown).
+std::span<const OperatorId> all_operator_ids();
+
 /// Canonical names: "htm", "atomics", "fine-locks", "serial-lock", "stm".
 const char* to_string(Mechanism mechanism);
 
@@ -197,9 +219,11 @@ class ActivityExecutor {
   /// Transactional executors stage the batch: the call must then be the
   /// last action of the current Worker::next(). Non-transactional
   /// executors apply synchronously, and `done` (if any) fires before
-  /// execute returns.
+  /// execute returns. `op_id` names the operator body for analysis layers
+  /// (concrete executors ignore it; execution never depends on it).
   virtual void execute(htm::ThreadCtx& ctx, std::uint64_t count,
-                       const ItemOp& op, BatchDone done = {}) = 0;
+                       const ItemOp& op, BatchDone done = {},
+                       OperatorId op_id = OperatorId::kUnknown) = 0;
 
   /// The executor's preferred operators-per-batch for work claiming (M
   /// for HTM — live from the adaptive controller when one is attached;

@@ -359,7 +359,8 @@ class HtmCoarsenedExecutor final : public StagedExecutor {
   }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               OperatorId /*op_id*/ = OperatorId::kUnknown) override {
     run_batch(ctx, count, ErasedItemOp(op), std::move(done));
   }
 
@@ -400,7 +401,8 @@ class AtomicOpsExecutor final : public StagedExecutor {
   Mechanism mechanism() const override { return Mechanism::kAtomicOps; }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               OperatorId /*op_id*/ = OperatorId::kUnknown) override {
     run_batch(ctx, count, ErasedItemOp(op), std::move(done));
   }
 
@@ -429,7 +431,8 @@ class FineLocksExecutor final : public StagedExecutor {
   Mechanism mechanism() const override { return Mechanism::kFineLocks; }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               OperatorId /*op_id*/ = OperatorId::kUnknown) override {
     run_batch(ctx, count, ErasedItemOp(op), std::move(done));
   }
 
@@ -460,7 +463,8 @@ class SerialLockExecutor final : public StagedExecutor {
   Mechanism mechanism() const override { return Mechanism::kSerialLock; }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               OperatorId /*op_id*/ = OperatorId::kUnknown) override {
     run_batch(ctx, count, ErasedItemOp(op), std::move(done));
   }
 
@@ -507,7 +511,8 @@ class StmExecutor final : public StagedExecutor {
   Mechanism mechanism() const override { return Mechanism::kStm; }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
-               BatchDone done = {}) override {
+               BatchDone done = {},
+               OperatorId /*op_id*/ = OperatorId::kUnknown) override {
     run_batch(ctx, count, ErasedItemOp(op), std::move(done));
   }
 
@@ -586,7 +591,8 @@ class StmExecutor final : public StagedExecutor {
 template <typename Op>
 void execute_batch(ActivityExecutor& executor, htm::ThreadCtx& ctx,
                    std::uint64_t count, Op&& op,
-                   ActivityExecutor::BatchDone done = {}) {
+                   ActivityExecutor::BatchDone done = {},
+                   OperatorId op_id = OperatorId::kUnknown) {
   if (executor.devirtualized()) {
     switch (executor.mechanism()) {
       case Mechanism::kHtmCoarsened:
@@ -613,7 +619,7 @@ void execute_batch(ActivityExecutor& executor, htm::ThreadCtx& ctx,
   }
   executor.execute(ctx, count,
                    ActivityExecutor::ItemOp(std::forward<Op>(op)),
-                   std::move(done));
+                   std::move(done), op_id);
 }
 
 }  // namespace aam::core

@@ -55,16 +55,20 @@ class AamRuntime {
   /// the concrete executor's access implementation on the fast path and
   /// against core::Access when a check decorator is attached. One
   /// std::function hop remains per claimed *batch* of M items.
+  /// `op_id` tags the batches with the operator's identity for the
+  /// check::/analysis:: layers (see core::OperatorId).
   template <typename Op>
-  void for_each(std::uint64_t count, Op op) {
+  void for_each(std::uint64_t count, Op op,
+                OperatorId op_id = OperatorId::kUnknown) {
     run_batches(count,
-                [this, op = std::move(op)](htm::ThreadCtx& ctx,
-                                           std::uint64_t begin,
-                                           std::uint64_t end) mutable {
+                [this, op = std::move(op), op_id](htm::ThreadCtx& ctx,
+                                                  std::uint64_t begin,
+                                                  std::uint64_t end) mutable {
                   execute_batch(*executor_, ctx, end - begin,
                                 [&op, begin](auto& access, std::uint64_t i) {
                                   op(access, begin + i);
-                                });
+                                },
+                                {}, op_id);
                 });
   }
 

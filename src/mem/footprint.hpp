@@ -47,6 +47,11 @@ class EpochSet {
     return true;
   }
 
+  /// Present iff the probe chain starting at the key's home slot reaches a
+  /// current-epoch slot holding the key before an empty (stale-epoch) slot.
+  /// probe() only terminates on key match or stale epoch, so checking the
+  /// epoch of the landing slot is sufficient: a colliding resident cannot
+  /// cause a false positive because probe() walks past it.
   bool contains(std::uint64_t key) const {
     return slots_[probe(key)].epoch == epoch_;
   }

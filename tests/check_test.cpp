@@ -145,6 +145,46 @@ TEST(Checker, SerialReplayCatchesNonReplayableOperator) {
             check::Violation::Kind::kSerialDivergence);
 }
 
+// A batch mislabeled with an operator id whose static signature does not
+// cover the touched allocation: the dynamic-vs-static audit must flag the
+// escape and name both the offending label and the permitted set.
+TEST(Checker, StaticSignatureAuditCatchesMislabeledBatch) {
+  mem::SimHeap heap(1 << 20);
+  htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
+  auto data = heap.alloc<std::uint64_t>(64, "mystery.array");
+  check::Checker checker(machine, {.footprint = true});
+  core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
+  // Claims to be bfs_visit but writes an allocation bfs_visit's static
+  // may-write set ({bfs.parent}) does not contain.
+  rt.for_each(
+      64,
+      [&](auto& access, std::uint64_t i) {
+        access.store(data[i], std::uint64_t{1});
+      },
+      core::OperatorId::kBfsVisit);
+  EXPECT_FALSE(checker.passed());
+  ASSERT_FALSE(checker.violations().empty());
+  const auto& v = checker.violations().front();
+  EXPECT_EQ(v.kind, check::Violation::Kind::kStaticEscape);
+  EXPECT_NE(v.detail.find("mystery.array"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("bfs.parent"), std::string::npos) << v.detail;
+  EXPECT_NE(report_of(checker).find("static-escape"), std::string::npos);
+}
+
+// Untagged batches (kUnknown) are exempt from the static audit — ad-hoc
+// runtime workloads carry no signature to check against.
+TEST(Checker, StaticSignatureAuditSkipsUntaggedBatches) {
+  mem::SimHeap heap(1 << 20);
+  htm::DesMachine machine(model::has_c(), HtmKind::kRtm, 4, heap);
+  auto data = heap.alloc<std::uint64_t>(64, "adhoc.array");
+  check::Checker checker(machine, {.footprint = true});
+  core::AamRuntime rt(machine, {.batch = 4, .decorator = &checker});
+  rt.for_each(64, [&](auto& access, std::uint64_t i) {
+    access.store(data[i], std::uint64_t{1});
+  });
+  EXPECT_TRUE(checker.passed()) << report_of(checker);
+}
+
 // ------------------------------------------------------ digest regression
 
 TEST(Checker, CommitDigestIsDeterministicAcrossRuns) {

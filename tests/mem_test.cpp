@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/footprint.hpp"
 #include "mem/sim_heap.hpp"
+#include "util/rng.hpp"
 
 namespace aam::mem {
 namespace {
@@ -122,6 +125,41 @@ TEST(EpochSet, CollidingKeysProbeCorrectly) {
     EXPECT_FALSE(s.insert(i * kStride)) << i;
   }
   EXPECT_FALSE(s.contains(65 * kStride));
+}
+
+TEST(EpochSet, ContainsWalksProbeChainOnVerifiedCollisions) {
+  // The stride test above hopes for collisions; mix64 scrambles strides, so
+  // it does not guarantee any. Here we brute-force keys whose *hashed* home
+  // slot provably collides under the initial mask, then check contains()
+  // distinguishes residents from an absent key that shares their chain.
+  constexpr std::size_t kMask = 63;  // initial_capacity 64, no growth below
+  const std::size_t home = util::mix64(1) & kMask;
+  std::vector<std::uint64_t> keys{1};
+  for (std::uint64_t k = 2; keys.size() < 3; ++k) {
+    if ((util::mix64(k) & kMask) == home) keys.push_back(k);
+  }
+  EpochSet s(64);
+  EXPECT_TRUE(s.insert(keys[0]));
+  EXPECT_TRUE(s.insert(keys[1]));
+  // Lookup of the displaced second key must walk past the first.
+  EXPECT_TRUE(s.contains(keys[0]));
+  EXPECT_TRUE(s.contains(keys[1]));
+  // An absent key whose home slot is occupied by a live entry must probe to
+  // the chain's end and report absent, not match on epoch alone.
+  EXPECT_FALSE(s.contains(keys[2]));
+  EXPECT_FALSE(s.insert(keys[0]));
+  EXPECT_FALSE(s.insert(keys[1]));
+  EXPECT_EQ(s.size(), 2u);
+
+  // Epoch-stale variant: after clear() the same chain's slots hold stale
+  // epochs; contains() must treat them as empty, and reinsertion of only
+  // the displaced key must not resurrect its chain predecessor.
+  s.clear();
+  EXPECT_FALSE(s.contains(keys[0]));
+  EXPECT_FALSE(s.contains(keys[1]));
+  EXPECT_TRUE(s.insert(keys[1]));
+  EXPECT_TRUE(s.contains(keys[1]));
+  EXPECT_FALSE(s.contains(keys[0]));
 }
 
 TEST(EpochSet, StaleSlotsDoNotResurrectAcrossGrowAndClear) {

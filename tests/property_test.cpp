@@ -5,9 +5,18 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "algorithms/bfs.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/st_connectivity.hpp"
+#include "analysis/signature.hpp"
+#include "check/check.hpp"
 #include "core/runtime.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
@@ -289,6 +298,149 @@ TEST_P(BatchInvarianceTest, HistogramIndependentOfBatchSize) {
 
 INSTANTIATE_TEST_SUITE_P(Batches, BatchInvarianceTest,
                          ::testing::Values(1, 3, 17, 128, 1000));
+
+// ---------------------------------------------------------------------------
+// Dynamic footprints are contained in the static effect signatures: under
+// --check=all-equivalent instrumentation, every algorithm on every
+// mechanism stays inside its operator's statically derived may-read/
+// may-write label sets (no static-escape violations), and the per-batch
+// word maxima the checker observes are bounded by `batch size x per-item
+// static element count` evaluated at the graph's max degree (chains
+// bounded by |V|). Two machine models cover both conflict granularities.
+// ---------------------------------------------------------------------------
+
+struct StaticContainmentCase {
+  const model::MachineConfig* config;
+  HtmKind kind;
+  int threads;
+  core::Mechanism mechanism;
+};
+
+class StaticContainmentTest
+    : public ::testing::TestWithParam<StaticContainmentCase> {};
+
+TEST_P(StaticContainmentTest, DynamicFootprintWithinStaticSignature) {
+  const auto& param = GetParam();
+  util::Rng rng(11);
+  graph::KroneckerParams gp;
+  gp.scale = 10;
+  gp.edge_factor = 4;
+  const graph::Graph g = graph::kronecker(gp, rng);
+  util::Rng wrng(12);
+  const auto wedges = graph::kronecker_edges(gp, wrng);
+  const auto weights = graph::random_weights(wedges.size(), 1.0f, 100.0f, wrng);
+  const graph::Graph wg = graph::Graph::from_weighted_edges(
+      g.num_vertices(), wedges, weights, /*undirected=*/true);
+  const auto dmax =
+      static_cast<int>(std::max(graph::degree_stats(g).max,
+                                graph::degree_stats(wg).max));
+  const auto n = static_cast<int>(g.num_vertices());
+
+  const auto signatures = analysis::analyze_all();
+  auto signature_of = [&](core::OperatorId op) -> const auto& {
+    return signatures[static_cast<std::size_t>(op) - 1];  // no kUnknown slot
+  };
+
+  // Runs one algorithm under full checking on a fresh machine and verifies
+  // both containment properties.
+  auto audit = [&](const char* what, auto&& run) {
+    mem::SimHeap heap(1 << 24);
+    htm::DesMachine machine(*param.config, param.kind, param.threads, heap,
+                            /*seed=*/3);
+    check::Checker checker(machine,
+                           {.races = true, .serial = true, .footprint = true});
+    run(machine, checker);
+    std::ostringstream report;
+    checker.report(report);
+    EXPECT_TRUE(checker.passed()) << what << ": " << report.str();
+    for (core::OperatorId op : core::all_operator_ids()) {
+      const auto& stats = checker.footprint_stats(op);
+      if (stats.batches == 0) continue;
+      const auto& sig = signature_of(op);
+      ASSERT_EQ(sig.op, op);
+      // Distinct 8-byte words <= distinct elements (elements are >= 4
+      // bytes), so the static element bound also bounds the word count.
+      EXPECT_LE(stats.max_read_words,
+                stats.items_at_max_read * sig.read_elems(dmax, n))
+          << what << " reads of " << core::to_string(op);
+      EXPECT_LE(stats.max_write_words,
+                stats.items_at_max_write * sig.write_elems(dmax, n))
+          << what << " writes of " << core::to_string(op);
+    }
+  };
+
+  audit("bfs", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::BfsOptions options;
+    options.root = graph::pick_nonisolated_vertex(g);
+    options.mechanism = param.mechanism;
+    options.batch = 8;
+    options.decorator = &checker;
+    algorithms::run_bfs(machine, g, options);
+  });
+  audit("pagerank", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::PageRankOptions options;
+    options.iterations = 2;
+    options.mechanism = param.mechanism;
+    options.batch = 8;
+    options.decorator = &checker;
+    algorithms::run_pagerank(machine, g, options);
+  });
+  audit("sssp", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::SsspOptions options;
+    options.source = graph::pick_nonisolated_vertex(wg);
+    options.mechanism = param.mechanism;
+    options.batch = 8;
+    options.decorator = &checker;
+    algorithms::run_sssp(machine, wg, options);
+  });
+  audit("boruvka", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::BoruvkaOptions options;
+    options.mechanism = param.mechanism;
+    options.batch = 4;
+    options.decorator = &checker;
+    algorithms::run_boruvka(machine, wg, options);
+  });
+  audit("coloring", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::ColoringOptions options;
+    options.mechanism = param.mechanism;
+    options.batch = 8;
+    options.decorator = &checker;
+    algorithms::run_boman_coloring(machine, g, options);
+  });
+  audit("st-conn", [&](htm::DesMachine& machine, check::Checker& checker) {
+    algorithms::StConnOptions options;
+    options.s = graph::pick_nonisolated_vertex(g);
+    options.t = graph::pick_nonisolated_vertex(g, /*salt=*/1);
+    if (options.s == options.t) options.t = options.s == 0 ? 1 : 0;
+    options.mechanism = param.mechanism;
+    options.batch = 8;
+    options.decorator = &checker;
+    algorithms::run_st_connectivity(machine, g, options);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndMechanisms, StaticContainmentTest,
+    ::testing::Values(
+        StaticContainmentCase{&model::bgq(), HtmKind::kBgqShort, 16,
+                              core::Mechanism::kHtmCoarsened},
+        StaticContainmentCase{&model::bgq(), HtmKind::kBgqShort, 16,
+                              core::Mechanism::kAtomicOps},
+        StaticContainmentCase{&model::bgq(), HtmKind::kBgqShort, 16,
+                              core::Mechanism::kFineLocks},
+        StaticContainmentCase{&model::has_c(), HtmKind::kRtm, 8,
+                              core::Mechanism::kHtmCoarsened},
+        StaticContainmentCase{&model::has_c(), HtmKind::kRtm, 8,
+                              core::Mechanism::kSerialLock},
+        StaticContainmentCase{&model::has_c(), HtmKind::kRtm, 8,
+                              core::Mechanism::kStm}),
+    [](const auto& info) {
+      std::string name = info.param.config->name + "_" +
+                         model::to_string(info.param.kind) + "_" +
+                         core::to_string(info.param.mechanism);
+      std::erase(name, '-');
+      return name;
+    });
 
 }  // namespace
 }  // namespace aam

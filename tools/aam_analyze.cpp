@@ -1,0 +1,123 @@
+// aam_analyze: run the static effect-signature analysis over every
+// operator body and report the results.
+//
+//   aam_analyze                       aligned signature + capacity tables
+//   aam_analyze --json                machine-readable dump
+//   aam_analyze --golden=PATH         diff against a committed golden file;
+//                                     exit 1 (with a unified-ish diff) on drift
+//   aam_analyze --write-golden=PATH   regenerate the golden file
+//   aam_analyze --degree=D --chain=C  evaluation parameters for the
+//                                     element-count and capacity columns
+//
+// CI runs `aam_analyze --golden=tests/golden/effect_signatures.txt`: any
+// change to an operator body or to the analysis that shifts a signature
+// must be accompanied by a regenerated golden, making effect changes
+// reviewable line-by-line.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.hpp"
+#include "analysis/report.hpp"
+#include "analysis/signature.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+/// Line-by-line diff: prints the first divergent lines of each side.
+void print_drift(const std::string& expected, const std::string& actual) {
+  std::istringstream exp(expected);
+  std::istringstream act(actual);
+  std::string eline;
+  std::string aline;
+  std::size_t lineno = 0;
+  for (;;) {
+    const bool has_e = static_cast<bool>(std::getline(exp, eline));
+    const bool has_a = static_cast<bool>(std::getline(act, aline));
+    ++lineno;
+    if (!has_e && !has_a) break;
+    if (has_e && has_a && eline == aline) continue;
+    std::fprintf(stderr, "line %zu:\n", lineno);
+    if (has_e) std::fprintf(stderr, "  -golden:  %s\n", eline.c_str());
+    if (has_a) std::fprintf(stderr, "  +current: %s\n", aline.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aam::util::Cli cli(argc, argv);
+  const bool json = cli.get_bool("json", false);
+  const std::string golden_path = cli.get_string("golden", "");
+  const std::string write_golden_path = cli.get_string("write-golden", "");
+  const int degree = static_cast<int>(cli.get_int("degree", 16));
+  const int chain = static_cast<int>(cli.get_int("chain", 8));
+  cli.check_unknown();
+
+  const auto signatures = aam::analysis::analyze_all();
+  const auto bounds = aam::analysis::capacity_bounds(signatures, degree, chain);
+
+  if (!write_golden_path.empty()) {
+    const std::string golden =
+        aam::analysis::render_golden(signatures, bounds, degree, chain);
+    std::ofstream out(write_golden_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "aam_analyze: cannot write %s\n",
+                   write_golden_path.c_str());
+      return 1;
+    }
+    out << golden;
+    std::printf("wrote %s (%zu bytes)\n", write_golden_path.c_str(),
+                golden.size());
+    return 0;
+  }
+
+  if (!golden_path.empty()) {
+    const std::string current =
+        aam::analysis::render_golden(signatures, bounds, degree, chain);
+    bool ok = false;
+    const std::string committed = read_file(golden_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "aam_analyze: cannot read golden %s\n",
+                   golden_path.c_str());
+      return 1;
+    }
+    if (committed != current) {
+      std::fprintf(stderr,
+                   "aam_analyze: effect signatures drifted from %s\n"
+                   "If the change is intentional, regenerate with:\n"
+                   "  ./build/tools/aam_analyze --write-golden %s\n",
+                   golden_path.c_str(), golden_path.c_str());
+      print_drift(committed, current);
+      return 1;
+    }
+    std::printf("effect signatures match %s\n", golden_path.c_str());
+    return 0;
+  }
+
+  if (json) {
+    std::printf("%s\n",
+                aam::analysis::render_json(signatures, bounds, degree, chain)
+                    .c_str());
+  } else {
+    std::printf("%s\n",
+                aam::analysis::render_table(signatures, bounds, degree, chain)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+
+// Self-test fixture for tools/lint_operators.sh: the lint must REJECT this
+// file (exit 1, pass 2). The operator takes the virtual core::Access base
+// directly instead of a templated Acc&, which reintroduces an indirect call
+// per memory access and evades the static effect-signature analyzer.
+
+#include <cstdint>
+
+namespace aam::core {
+class Access;
+}
+
+namespace lint_fixture {
+
+void bad_param_visit(core::Access& a, std::uint64_t* parent, std::uint64_t v,
+                     std::uint64_t u);
+
+}  // namespace lint_fixture

@@ -1,0 +1,20 @@
+#pragma once
+
+// Self-test fixture for tools/lint_operators.sh: the lint must REJECT this
+// file (exit 1, pass 1). The operator takes a templated access surface but
+// mutates shared state with a raw subscripted store, bypassing conflict
+// detection and the modelled access cost.
+
+#include <cstdint>
+
+namespace lint_fixture {
+
+template <typename Acc>
+void bad_visit(Acc& a, std::uint64_t* parent, std::uint64_t v,
+               std::uint64_t u) {
+  if (a.load(parent[v]) == 0) {
+    parent[v] = u;
+  }
+}
+
+}  // namespace lint_fixture

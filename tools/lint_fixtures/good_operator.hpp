@@ -1,0 +1,29 @@
+#pragma once
+
+// Self-test fixture for tools/lint_operators.sh: the lint must ACCEPT this
+// file (exit 0). It exercises every stripping path the lint relies on:
+//  - a templated access parameter with mediated mutations only,
+//  - a raw-write spelling inside a line comment: parent[v] = u,
+//  - core::Access& mentioned in line and block comments only.
+
+#include <cstdint>
+
+/* A block comment naming core::Access& must not trip pass 2. */
+
+namespace lint_fixture {
+
+// The devirtualized operator shape (see executor_impl.hpp): templated
+// access parameter, all shared-state mutations mediated by the surface.
+template <typename Acc>
+void good_visit(Acc& a, std::uint64_t* parent, std::uint64_t v,
+                std::uint64_t u) {
+  /* multi-line block comment:
+     core::Access& mentioned mid-block must also be ignored,
+     as must parent[v] = u spelled inside it. */
+  if (a.load(parent[v]) == 0) {
+    a.store(parent[v], u + 1);
+  }
+  a.fetch_add(parent[u], std::uint64_t{1});  // not parent[u] += 1
+}
+
+}  // namespace lint_fixture

@@ -1,16 +1,30 @@
 #!/usr/bin/env sh
-# Lint: operator bodies must mutate shared state through core::Access.
+# Lint: operator bodies must mutate shared state through the access surface,
+# and must take it as a *templated* parameter.
 #
-# Scans every function/lambda in src/algorithms/ whose parameter list
-# takes an access surface — a `core::Access&` parameter, a generic
-# `(auto& access` lambda, or a templated `Acc& a` operator (the
-# devirtualized spellings, see executor_impl.hpp) — and flags raw
-# mutation syntax inside the body:
-# subscripted assignments (x[i] = v, x[i] += v, ...) and subscripted
-# increments (x[i]++, ++x[i]). Those writes bypass the synchronization
-# mechanism entirely — no conflict detection, no modelled cost — which is
-# exactly the bug class check::Checker's escaped-write detector catches at
-# runtime; this catches the obvious spellings at review time.
+# Pass 1 — raw mutations. Scans every function/lambda whose parameter list
+# takes an access surface — a generic `(auto& access` lambda or a templated
+# `Acc& a` operator (the devirtualized spellings, see executor_impl.hpp) —
+# and flags raw mutation syntax inside the body: subscripted assignments
+# (x[i] = v, x[i] += v, ...) and subscripted increments (x[i]++, ++x[i]).
+# Those writes bypass the synchronization mechanism entirely — no conflict
+# detection, no modelled cost — which is exactly the bug class
+# check::Checker's escaped-write detector catches at runtime; this catches
+# the obvious spellings at review time.
+#
+# Pass 2 — virtual access parameters. After stripping // and /* */
+# comments, flags any function parameter spelled `core::Access&`. Operator
+# bodies must be templated on the access type (`template <typename Acc>`)
+# so the executor can devirtualize the hot path; taking the virtual base
+# directly reintroduces an indirect call per memory access and evades the
+# static effect-signature analyzer, which replays operators through
+# analysis::AbstractAccess via the same template seam.
+#
+# Usage: lint_operators.sh [file...]
+#   With no arguments, lints src/algorithms/*.cpp and *.hpp.
+#   With arguments, lints exactly those files (used by the self-test:
+#   tools/lint_operators_selftest.sh runs this against known-good and
+#   known-bad fixtures in tools/lint_fixtures/).
 #
 # Pure POSIX sh + awk (no clang tooling required). Exit 0 = clean,
 # exit 1 = violations printed one per line as file:line: code.
@@ -18,17 +32,32 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-cd "$repo_root"
+if [ "$#" -eq 0 ]; then
+  cd "$repo_root"
+  set -- src/algorithms/*.cpp src/algorithms/*.hpp
+fi
 
 status=0
-for f in src/algorithms/*.cpp src/algorithms/*.hpp; do
+for f in "$@"; do
+  # Pass 1: raw subscripted mutations inside access-taking bodies.
   awk '
-    # Track regions that run under an Access: from a signature line
-    # mentioning core::Access&, a generic access lambda, or a templated
-    # access parameter, to the close of its brace pair.
-    /core::Access&|\(auto& access|\(Acc& a[,)]/ && region == 0 { region = 1; depth = 0; entered = 0 }
+    # Track regions that run under an access surface: from a signature line
+    # with a generic access lambda or a templated access parameter, to the
+    # close of its brace pair.
+    /\(auto& access|\(Acc& a[,)]/ && region == 0 { region = 1; depth = 0; entered = 0 }
     region == 1 {
       line = $0
+      if (inblock) {
+        i = index(line, "*/")
+        if (i == 0) next
+        line = substr(line, i + 2)
+        inblock = 0
+      }
+      while ((s = index(line, "/*")) > 0) {
+        e = index(substr(line, s + 2), "*/")
+        if (e == 0) { line = substr(line, 1, s - 1); inblock = 1; break }
+        line = substr(line, 1, s - 1) substr(line, s + e + 3)
+      }
       sub(/\/\/.*/, "", line)  # strip trailing comments
       if (entered &&
           (line ~ /[A-Za-z_][A-Za-z0-9_]*\[[^]]*\][ \t]*(=[^=]|\+=|-=|\*=|\/=|\|=|&=|\^=|<<=|>>=|\+\+|--)/ ||
@@ -44,10 +73,35 @@ for f in src/algorithms/*.cpp src/algorithms/*.hpp; do
     }
     END { exit bad ? 1 : 0 }
   ' "$f" || status=1
+
+  # Pass 2: comment-stripped scan for `core::Access&` parameters.
+  awk '
+    {
+      line = $0
+      if (inblock) {
+        i = index(line, "*/")
+        if (i == 0) next
+        line = substr(line, i + 2)
+        inblock = 0
+      }
+      while ((s = index(line, "/*")) > 0) {
+        e = index(substr(line, s + 2), "*/")
+        if (e == 0) { line = substr(line, 1, s - 1); inblock = 1; break }
+        line = substr(line, 1, s - 1) substr(line, s + e + 3)
+      }
+      sub(/\/\/.*/, "", line)
+      if (line ~ /[(,][ \t]*(const[ \t]+)?core::Access[ \t]*&/) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        bad = 1
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$f" || status=1
 done
 
 if [ "$status" -ne 0 ]; then
-  echo "lint_operators: raw mutations inside core::Access operator bodies" >&2
-  echo "(route them through access.store/cas/fetch_add instead)" >&2
+  echo "lint_operators: operator bodies must route mutations through the" >&2
+  echo "access surface (access.store/cas/fetch_add) and take it as a" >&2
+  echo "templated Acc& parameter, never core::Access& directly" >&2
 fi
 exit "$status"
