@@ -16,9 +16,11 @@
 #include <string>
 
 #include "check/check.hpp"
+#include "fault/fault.hpp"
 #include "htm/des_engine.hpp"
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
+#include "net/cluster.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -89,5 +91,73 @@ class ScopedChecker {
  private:
   std::unique_ptr<check::Checker> checker_;
 };
+
+/// Scope-bound fault injection for one simulated run (--fault=<spec>).
+/// Parses the spec against the machine's calibrated FaultProfile, builds a
+/// fault::FaultInjector seeded like the run, and attaches it for the
+/// scope's lifetime. With --fault=none (or any spec whose plan is inert)
+/// nothing is installed and the run is bit-identical to a hook-free build.
+class ScopedFault {
+ public:
+  ScopedFault(htm::DesMachine& machine, const std::string& spec,
+              std::uint64_t seed)
+      : machine_(&machine),
+        plan_(fault::parse(spec, machine.config().fault)) {
+    if (plan_.any()) {
+      injector_ = std::make_unique<fault::FaultInjector>(
+          plan_, seed, machine.num_threads());
+      injector_->attach(machine);
+    }
+  }
+
+  /// Cluster flavor: also installs the network-side hook, and scopes
+  /// brown-outs to the cluster's nodes.
+  ScopedFault(net::Cluster& cluster, const std::string& spec,
+              std::uint64_t seed)
+      : machine_(&cluster.machine()),
+        cluster_(&cluster),
+        plan_(fault::parse(spec, cluster.config().fault)) {
+    if (plan_.any()) {
+      injector_ = std::make_unique<fault::FaultInjector>(
+          plan_, seed, machine_->num_threads(), cluster.threads_per_node());
+      injector_->attach(cluster);
+    }
+  }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  ~ScopedFault() {
+    if (injector_ == nullptr) return;
+    machine_->set_fault_hook(nullptr);
+    if (cluster_ != nullptr) cluster_->set_fault_hook(nullptr);
+  }
+
+  const fault::FaultPlan& plan() const { return plan_; }
+  /// nullptr when the plan is inert ("none").
+  fault::FaultInjector* injector() { return injector_.get(); }
+
+ private:
+  htm::DesMachine* machine_ = nullptr;
+  net::Cluster* cluster_ = nullptr;
+  fault::FaultPlan plan_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+};
+
+/// Read --fault=<spec> and syntax-check it up front so a malformed spec
+/// exits 2 like every other bad flag value, instead of aborting mid-run.
+/// Fault semantics still come from each machine's own FaultProfile when
+/// ScopedFault re-parses the spec per run; the errors (unknown scenario or
+/// key, bad number, unreadable @file) are profile-independent.
+inline std::string get_fault_spec(util::Cli& cli) {
+  const std::string spec = cli.get_string("fault", "none");
+  fault::FaultPlan plan;
+  const auto error = fault::try_parse(spec, model::FaultProfile{}, plan);
+  if (error.has_value()) {
+    std::cerr << "invalid --fault=" << spec << "; " << *error << "\n";
+    std::exit(2);
+  }
+  return spec;
+}
 
 }  // namespace aam::bench

@@ -1,0 +1,398 @@
+// Fault-oblivious correctness matrix (the headline invariant of the
+// aam::fault layer): every algorithm x mechanism x machine cell, run under
+// an injected fault scenario, must produce the *same answer* as its
+// fault-free run. Faults may only show up in HtmStats/NetStats and in
+// simulated time — never in results.
+//
+// Because fault injection perturbs the schedule (retries, retransmits,
+// slowdowns), raw result vectors are not directly comparable; each
+// algorithm is reduced to its schedule-invariant semantic projection:
+//
+//   bfs       depth-per-vertex derived from the parent tree (level-
+//             synchronous BFS pins every depth) — exact
+//   pagerank  rank vector — tolerance (FP summation order moves)
+//   sssp      distance vector — tolerance
+//   coloring  validity: proper coloring and all vertices colored — exact
+//   st-conn   the connectivity verdict — exact
+//   boruvka   forest edge count exact + total weight under tolerance
+//
+// The distributed pagerank cell runs on a 4-node Cluster so network
+// scenarios (drop/duplicate/reorder/delay) exercise the reliable-delivery
+// protocol end to end, and additionally cross-checks the protocol's exact
+// accounting (injected == observed, all sends acked, quiescence reached).
+//
+// Output is deterministic (no wall-clock, no pointers): running the binary
+// twice with the same flags must produce byte-identical stdout, which
+// tools/fault_sweep.sh uses as the determinism oracle. Exit code: 0 when
+// every cell matches its baseline, 1 otherwise.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/boruvka.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_dist.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/st_connectivity.hpp"
+#include "bench_common.hpp"
+#include "core/executor.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+#include "graph/partition.hpp"
+
+namespace {
+
+using namespace aam;
+
+// ---------------------------------------------------------------------------
+// Semantic projections.
+
+/// One algorithm's schedule-invariant answer: named scalar/vector slots,
+/// some compared exactly, some under a tolerance.
+struct Projection {
+  std::vector<std::uint64_t> exact;   ///< compared bit-for-bit
+  std::vector<double> approx;         ///< compared under `tolerance`
+  double tolerance = 0;
+};
+
+/// Depth of every vertex under the BFS tree `parent` (kInvalidVertex for
+/// unvisited vertices maps to a sentinel depth). Memoized chain walk.
+std::vector<std::uint64_t> bfs_depths(const std::vector<graph::Vertex>& parent,
+                                      graph::Vertex root) {
+  constexpr std::uint64_t kUnvisited = ~std::uint64_t{0};
+  std::vector<std::uint64_t> depth(parent.size(), kUnvisited);
+  if (root < parent.size()) depth[root] = 0;
+  for (graph::Vertex v = 0; v < parent.size(); ++v) {
+    if (parent[v] == graph::kInvalidVertex || depth[v] != kUnvisited) continue;
+    // Walk to a vertex of known depth, then unwind.
+    std::vector<graph::Vertex> chain;
+    graph::Vertex u = v;
+    while (depth[u] == kUnvisited) {
+      chain.push_back(u);
+      u = parent[u];
+    }
+    std::uint64_t d = depth[u];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+  }
+  return depth;
+}
+
+/// True when `color` (1-based, 0 = uncolored) is a proper and complete
+/// coloring of `g`.
+bool coloring_valid(const graph::Graph& g,
+                    const std::vector<std::uint32_t>& color) {
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (color[v] == 0) return false;
+    for (const graph::Vertex u : g.neighbors(v)) {
+      if (u != v && color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+struct Inputs {
+  graph::Graph g;
+  graph::Graph wg;
+  graph::Vertex root = 0;
+  graph::Vertex st_t = 0;
+};
+
+Inputs make_inputs(int scale, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::KroneckerParams params;
+  params.scale = scale;
+  params.edge_factor = 4;
+  Inputs in;
+  in.g = graph::kronecker(params, rng);
+  in.root = graph::pick_nonisolated_vertex(in.g);
+  for (graph::Vertex v = in.g.num_vertices(); v-- > 0;) {
+    if (v != in.root && !in.g.neighbors(v).empty()) {
+      in.st_t = v;
+      break;
+    }
+  }
+  util::Rng wrng(seed + 1);
+  auto wedges = graph::erdos_renyi_edges(600, 0.02, wrng);
+  const auto weights =
+      graph::random_weights(wedges.size(), 1.0f, 100.0f, wrng);
+  in.wg = graph::Graph::from_weighted_edges(600, wedges, weights, true);
+  return in;
+}
+
+Projection run_cell(htm::DesMachine& machine, const Inputs& in,
+                    const std::string& algo, core::Mechanism mech,
+                    std::uint64_t seed) {
+  Projection p;
+  if (algo == "bfs") {
+    algorithms::BfsOptions o;
+    o.root = in.root;
+    o.mechanism = mech;
+    const auto r = algorithms::run_bfs(machine, in.g, o);
+    p.exact = bfs_depths(r.parent, in.root);
+    p.exact.push_back(r.vertices_visited);
+  } else if (algo == "pagerank") {
+    algorithms::PageRankOptions o;
+    o.iterations = 3;
+    o.mechanism = mech;
+    const auto r = algorithms::run_pagerank(machine, in.g, o);
+    p.approx = r.rank;
+    p.tolerance = 1e-9;
+  } else if (algo == "sssp") {
+    algorithms::SsspOptions o;
+    o.source = 0;
+    o.mechanism = mech;
+    const auto r = algorithms::run_sssp(machine, in.wg, o);
+    p.approx = r.distance;
+    p.tolerance = 1e-9;
+  } else if (algo == "coloring") {
+    algorithms::ColoringOptions o;
+    o.mechanism = mech;
+    o.seed = seed + 6;
+    const auto r = algorithms::run_boman_coloring(machine, in.g, o);
+    p.exact.push_back(coloring_valid(in.g, r.color) ? 1 : 0);
+  } else if (algo == "st-conn") {
+    algorithms::StConnOptions o;
+    o.s = in.root;
+    o.t = in.st_t;
+    o.mechanism = mech;
+    const auto r = algorithms::run_st_connectivity(machine, in.g, o);
+    p.exact.push_back(r.connected ? 1 : 0);
+  } else if (algo == "boruvka") {
+    algorithms::BoruvkaOptions o;
+    o.mechanism = mech;
+    const auto r = algorithms::run_boruvka(machine, in.wg, o);
+    p.exact.push_back(r.edges_in_forest);
+    p.approx.push_back(r.total_weight);
+    p.tolerance = 1e-6 * std::max(1.0, r.total_weight);
+  } else {
+    AAM_CHECK_MSG(false, "unknown algorithm in fault matrix");
+  }
+  return p;
+}
+
+/// Compares a faulted projection against its fault-free baseline; returns
+/// a human-readable diff description, or "" on a match.
+std::string compare(const Projection& base, const Projection& got) {
+  char buf[160];
+  if (base.exact.size() != got.exact.size() ||
+      base.approx.size() != got.approx.size()) {
+    return "projection shape differs";
+  }
+  for (std::size_t i = 0; i < base.exact.size(); ++i) {
+    if (base.exact[i] != got.exact[i]) {
+      std::snprintf(buf, sizeof(buf),
+                    "exact[%zu]: baseline=%llu faulted=%llu", i,
+                    static_cast<unsigned long long>(base.exact[i]),
+                    static_cast<unsigned long long>(got.exact[i]));
+      return buf;
+    }
+  }
+  const double tol = std::max(base.tolerance, got.tolerance);
+  for (std::size_t i = 0; i < base.approx.size(); ++i) {
+    const double a = base.approx[i];
+    const double b = got.approx[i];
+    const bool a_inf = std::isinf(a);
+    const bool b_inf = std::isinf(b);
+    if (a_inf || b_inf) {
+      if (a_inf == b_inf) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "approx[%zu]: baseline=%g faulted=%g (infinity)", i, a, b);
+      return buf;
+    }
+    if (std::abs(a - b) > tol) {
+      std::snprintf(buf, sizeof(buf),
+                    "approx[%zu]: baseline=%.17g faulted=%.17g tol=%g", i, a,
+                    b, tol);
+      return buf;
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Distributed pagerank cell (Cluster-backed; the network scenarios' target).
+
+struct DistCell {
+  std::vector<double> rank;
+  net::NetStats net;
+  htm::HtmStats stats;
+  std::string protocol_error;  ///< "" when the exact accounting holds
+};
+
+DistCell run_dist_cell(const model::MachineConfig& config,
+                       model::HtmKind kind, const graph::Graph& g,
+                       const std::string& fault_spec, std::uint64_t seed) {
+  const int nodes = 4;
+  const int threads = 4;
+  const graph::Block1D part(g.num_vertices(), nodes);
+  mem::SimHeap heap(std::size_t{1} << 26);
+  net::Cluster cluster(config, kind, nodes, threads, heap, seed);
+  bench::ScopedFault fault(cluster, fault_spec, seed);
+  algorithms::DistPrOptions o;
+  o.iterations = 3;
+  const auto r = algorithms::run_distributed_pagerank(cluster, g, part, o);
+  DistCell cell;
+  cell.rank = r.rank;
+  cell.net = r.net;
+  cell.stats = r.stats;
+  char buf[160];
+  if (cluster.in_flight() != 0) {
+    std::snprintf(buf, sizeof(buf), "quiescence violated: %llu in flight",
+                  static_cast<unsigned long long>(cluster.in_flight()));
+    cell.protocol_error = buf;
+  } else if (fault.injector() != nullptr && fault.injector()->net_active()) {
+    const auto& inj = fault.injector()->injected();
+    if (cell.net.dropped != inj.net_dropped ||
+        cell.net.duplicated != inj.net_duplicated) {
+      std::snprintf(buf, sizeof(buf),
+                    "inexact accounting: dropped %llu/%llu dup %llu/%llu",
+                    static_cast<unsigned long long>(cell.net.dropped),
+                    static_cast<unsigned long long>(inj.net_dropped),
+                    static_cast<unsigned long long>(cell.net.duplicated),
+                    static_cast<unsigned long long>(inj.net_duplicated));
+      cell.protocol_error = buf;
+    } else if (cell.net.acked != cell.net.messages_sent) {
+      std::snprintf(buf, sizeof(buf), "unacked sends: acked=%llu sent=%llu",
+                    static_cast<unsigned long long>(cell.net.acked),
+                    static_cast<unsigned long long>(cell.net.messages_sent));
+      cell.protocol_error = buf;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 10));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string fault_filter = cli.get_string("fault", "all");
+  const std::string algo_filter = cli.get_string("algorithm", "all");
+  std::vector<std::string> mech_choices = {"all"};
+  for (const auto m : core::all_mechanisms()) {
+    mech_choices.push_back(core::to_string(m));
+  }
+  const std::string only_mech =
+      cli.get_choice("mechanism", "all", mech_choices);
+  const std::string machine_filter = cli.get_string("machine", "all");
+  cli.check_unknown();
+
+  // Scenario list: every canned scenario except "none" (each is compared
+  // against the fault-free baseline), or one user-provided spec.
+  std::vector<std::string> scenarios;
+  if (fault_filter == "all") {
+    for (const std::string& s : fault::canned_scenarios()) {
+      if (s != "none") scenarios.push_back(s);
+    }
+    scenarios.push_back("brownout");
+  } else {
+    fault::FaultPlan probe;
+    const auto error =
+        fault::try_parse(fault_filter, model::FaultProfile{}, probe);
+    if (error.has_value()) {
+      std::cerr << "invalid --fault=" << fault_filter << "; " << *error
+                << "\n";
+      return 2;
+    }
+    scenarios.push_back(fault_filter);
+  }
+
+  struct Setup {
+    const model::MachineConfig* config;
+    model::HtmKind kind;
+    int threads;
+  };
+  std::vector<Setup> setups;
+  if (machine_filter == "all" || machine_filter == "BGQ") {
+    setups.push_back({&model::bgq(), model::HtmKind::kBgqShort, 16});
+  }
+  if (machine_filter == "all" || machine_filter == "Has-C") {
+    setups.push_back({&model::has_c(), model::HtmKind::kRtm, 8});
+  }
+  AAM_CHECK_MSG(!setups.empty(), "unknown --machine (BGQ, Has-C, all)");
+
+  const std::vector<std::string> algos = {"bfs",      "pagerank", "sssp",
+                                          "coloring", "st-conn",  "boruvka"};
+  const Inputs in = make_inputs(scale, seed);
+  util::Rng drng(seed + 17);
+  const graph::Graph dg = graph::erdos_renyi(1 << 10, 0.01, drng);
+
+  int cells = 0;
+  int failures = 0;
+  for (const Setup& setup : setups) {
+    // Shared-memory cells.
+    for (const std::string& algo : algos) {
+      if (algo_filter != "all" && algo_filter != algo) continue;
+      for (const core::Mechanism mech : core::all_mechanisms()) {
+        if (only_mech != "all" && only_mech != core::to_string(mech)) {
+          continue;
+        }
+        Projection base;
+        {
+          mem::SimHeap heap((std::size_t{1} << 20) * 8);
+          htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
+                                  heap, seed);
+          base = run_cell(machine, in, algo, mech, seed);
+        }
+        for (const std::string& scenario : scenarios) {
+          ++cells;
+          mem::SimHeap heap((std::size_t{1} << 20) * 8);
+          htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
+                                  heap, seed);
+          bench::ScopedFault fault(machine, scenario, seed);
+          const Projection got = run_cell(machine, in, algo, mech, seed);
+          const std::string diff = compare(base, got);
+          const bool ok = diff.empty();
+          if (!ok) ++failures;
+          std::printf("%-5s %-8s %-13s %-12s %s%s%s\n",
+                      setup.config->name.c_str(), algo.c_str(),
+                      core::to_string(mech), scenario.c_str(),
+                      ok ? "OK" : "MISMATCH", ok ? "" : ": ",
+                      diff.c_str());
+        }
+      }
+    }
+    // Distributed pagerank cell: compare against the fault-free cluster
+    // run and enforce the delivery protocol's exact accounting.
+    if (algo_filter == "all" || algo_filter == "pagerank-dist") {
+      const DistCell base =
+          run_dist_cell(*setup.config, setup.kind, dg, "none", seed);
+      for (const std::string& scenario : scenarios) {
+        ++cells;
+        const DistCell got =
+            run_dist_cell(*setup.config, setup.kind, dg, scenario, seed);
+        std::string diff = got.protocol_error;
+        if (diff.empty()) {
+          Projection pb, pg;
+          pb.approx = base.rank;
+          pg.approx = got.rank;
+          // float32 message payloads + reordered accumulation.
+          pb.tolerance = 1e-5;
+          diff = compare(pb, pg);
+        }
+        const bool ok = diff.empty();
+        if (!ok) ++failures;
+        std::printf(
+            "%-5s %-8s %-13s %-12s %s%s%s (dropped=%llu dup=%llu "
+            "retx=%llu deduped=%llu)\n",
+            setup.config->name.c_str(), "pr-dist", "am", scenario.c_str(),
+            ok ? "OK" : "MISMATCH", ok ? "" : ": ", diff.c_str(),
+            static_cast<unsigned long long>(got.net.dropped),
+            static_cast<unsigned long long>(got.net.duplicated),
+            static_cast<unsigned long long>(got.net.retransmitted),
+            static_cast<unsigned long long>(got.net.dedup_discarded));
+      }
+    }
+  }
+
+  std::printf("fault matrix: %d cells, %d mismatches\n", cells, failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -61,11 +61,13 @@ struct Setup {
 // for vertices on the last node; handler batches run as one transaction.
 double run_htm_am(const Setup& setup, int num_nodes, int coalesce,
                   std::uint64_t ops, bool use_acc, std::uint64_t pool_size,
-                  std::uint64_t seed, const check::CheckConfig& check_cfg) {
+                  std::uint64_t seed, const check::CheckConfig& check_cfg,
+                  const std::string& fault_spec) {
   mem::SimHeap heap(std::size_t{1} << 24);
   net::Cluster cluster(*setup.config, setup.kind, num_nodes,
                        setup.recv_threads, heap, seed);
   bench::ScopedChecker scoped(cluster.machine(), check_cfg);
+  bench::ScopedFault fault(cluster, fault_spec, seed);
   // The remote vertex pool lives on the last node.
   auto visited = heap.alloc<std::uint64_t>(pool_size * 8);
   core::DistributedRuntime rt(cluster, {.coalesce = coalesce,
@@ -160,15 +162,16 @@ double run_remote_atomics(const Setup& setup, int num_nodes, std::uint64_t ops,
 
 void sweep_coalescing(const Setup& setup, const char* figure, bool use_acc,
                       std::uint64_t ops, std::uint64_t pool, std::uint64_t seed,
-                      const check::CheckConfig& check_cfg, bench::BenchIo& io) {
+                      const check::CheckConfig& check_cfg,
+                      const std::string& fault_spec, bench::BenchIo& io) {
   const double atomics_time =
       run_remote_atomics(setup, 2, ops, use_acc, pool, seed);
   util::Table table({"mechanism", "C", "time", "vs remote atomics"});
   table.row().cell(use_acc ? "remote ACC (one-sided)" : "remote CAS (one-sided)")
       .cell("-").cell(util::format_time_ns(atomics_time)).cell("1.00x");
   for (int c : {1, 2, 4, 8, 16, 32, 64}) {
-    const double t =
-        run_htm_am(setup, 2, c, ops, use_acc, pool, seed, check_cfg);
+    const double t = run_htm_am(setup, 2, c, ops, use_acc, pool, seed,
+                                check_cfg, fault_spec);
     table.row().cell("Inter-node-HTM").cell(c).cell(util::format_time_ns(t))
         .cell(bench::speedup_str(atomics_time / t) + "x");
   }
@@ -181,12 +184,12 @@ void sweep_coalescing(const Setup& setup, const char* figure, bool use_acc,
 void sweep_nodes(const Setup& setup, const char* figure, bool use_acc,
                  std::uint64_t ops, int coalesce, std::uint64_t pool,
                  std::uint64_t seed, const check::CheckConfig& check_cfg,
-                 bench::BenchIo& io) {
+                 const std::string& fault_spec, bench::BenchIo& io) {
   util::Table table({"N", "remote atomics", "Inter-node-HTM-C", "speedup"});
   for (int n : {2, 4, 8, 16}) {
     const double at = run_remote_atomics(setup, n, ops, use_acc, pool, seed);
-    const double am =
-        run_htm_am(setup, n, coalesce, ops, use_acc, pool, seed, check_cfg);
+    const double am = run_htm_am(setup, n, coalesce, ops, use_acc, pool,
+                                seed, check_cfg, fault_spec);
     table.row().cell(n).cell(util::format_time_ns(at))
         .cell(util::format_time_ns(am))
         .cell(bench::speedup_str(at / am) + "x");
@@ -206,6 +209,7 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<std::uint64_t>(cli.get_int("ops", 8192));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const std::string fault_spec = bench::get_fault_spec(cli);
   cli.check_unknown();
 
   bench::print_header("Figure 5c-5h — inter-node activities (§5.6)",
@@ -219,16 +223,19 @@ int main(int argc, char** argv) {
 
   // CAS family: distinct vertices -> negligible target-side conflicts.
   sweep_coalescing(bgq_pair, "5c", /*use_acc=*/false, ops, /*pool=*/ops,
-                   seed, check_cfg, io);
+                   seed, check_cfg, fault_spec, io);
   sweep_nodes(bgq_node, "5d", false, ops, /*coalesce=*/16, ops, seed,
-              check_cfg, io);
+              check_cfg, fault_spec, io);
   // ACC family: a hot pool of 64 vertices processed by several handler
   // threads -> the costly HTM ACC aborts of §5.4.2 appear at the target.
   sweep_coalescing(bgq_acc, "5e", /*use_acc=*/true, ops, /*pool=*/64, seed,
-                   check_cfg, io);
-  sweep_nodes(bgq_node, "5f", true, ops, 16, 64, seed, check_cfg, io);
+                   check_cfg, fault_spec, io);
+  sweep_nodes(bgq_node, "5f", true, ops, 16, 64, seed, check_cfg, fault_spec,
+              io);
   // Has-P over InfiniBand/MPI-RMA (2 nodes only, as on Greina).
-  sweep_coalescing(hasp_pair, "5g", false, ops, ops, seed, check_cfg, io);
-  sweep_coalescing(hasp_pair, "5h", true, ops, 64, seed, check_cfg, io);
+  sweep_coalescing(hasp_pair, "5g", false, ops, ops, seed, check_cfg,
+                   fault_spec, io);
+  sweep_coalescing(hasp_pair, "5h", true, ops, 64, seed, check_cfg,
+                   fault_spec, io);
   return 0;
 }

@@ -22,7 +22,8 @@ struct RunResult {
 
 RunResult run_pair(const graph::Graph& g, int nodes, int threads,
                    int iterations, std::uint64_t seed,
-                   const check::CheckConfig& check_cfg) {
+                   const check::CheckConfig& check_cfg,
+                   const std::string& fault_spec) {
   algorithms::DistPrOptions options;
   options.iterations = iterations;
   RunResult out;
@@ -33,6 +34,7 @@ RunResult run_pair(const graph::Graph& g, int nodes, int threads,
     net::Cluster cluster(model::bgq(), model::HtmKind::kBgqShort, nodes,
                          threads, heap, seed);
     bench::ScopedChecker scoped(cluster.machine(), check_cfg);
+    bench::ScopedFault fault(cluster, fault_spec, seed);
     options.mode = algorithms::DistPrMode::kAam;
     options.decorator = scoped.decorator();
     const auto r = run_distributed_pagerank(cluster, g, part, options);
@@ -47,6 +49,7 @@ RunResult run_pair(const graph::Graph& g, int nodes, int threads,
     net::Cluster cluster(model::bgq(), model::HtmKind::kBgqShort,
                          nodes * threads, 1, heap, seed);
     bench::ScopedChecker scoped(cluster.machine(), check_cfg);
+    bench::ScopedFault fault(cluster, fault_spec, seed);
     options.mode = algorithms::DistPrMode::kPbgl;
     options.decorator = scoped.decorator();
     const auto r = run_distributed_pagerank(cluster, g, part, options);
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   const int iterations = static_cast<int>(cli.get_int("iterations", 3));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const std::string fault_spec = bench::get_fault_spec(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -87,7 +91,8 @@ int main(int argc, char** argv) {
     const graph::Graph g = graph::erdos_renyi(base_vertices, er_p, rng);
     util::Table table({"N", "T/node", "AAM", "PBGL-like", "speedup"});
     for (int nodes : {2, 4, 8, 16}) {
-      const RunResult r = run_pair(g, nodes, 4, iterations, seed, check_cfg);
+      const RunResult r = run_pair(g, nodes, 4, iterations, seed, check_cfg,
+                                   fault_spec);
       table.row().cell(nodes).cell(4).cell(util::format_time_ns(r.aam_ns))
           .cell(util::format_time_ns(r.pbgl_ns))
           .cell(bench::speedup_str(r.pbgl_ns / r.aam_ns));
@@ -104,7 +109,7 @@ int main(int argc, char** argv) {
     util::Table table({"T/node", "N", "AAM", "PBGL-like", "speedup"});
     for (int threads : {1, 2, 4, 8, 16}) {
       const RunResult r = run_pair(g, 4, threads, iterations, seed,
-                                   check_cfg);
+                                   check_cfg, fault_spec);
       table.row().cell(threads).cell(4).cell(util::format_time_ns(r.aam_ns))
           .cell(util::format_time_ns(r.pbgl_ns))
           .cell(bench::speedup_str(r.pbgl_ns / r.aam_ns));
@@ -124,7 +129,8 @@ int main(int argc, char** argv) {
       const double p = er_p * static_cast<double>(base_vertices) /
                        static_cast<double>(n);
       const graph::Graph g = graph::erdos_renyi(n, p, rng);
-      const RunResult r = run_pair(g, 4, 4, iterations, seed, check_cfg);
+      const RunResult r = run_pair(g, 4, 4, iterations, seed, check_cfg,
+                                   fault_spec);
       table.row().cell(util::format_count(n))
           .cell(util::format_count(n / 4))
           .cell(util::format_time_ns(r.aam_ns))

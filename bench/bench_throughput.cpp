@@ -7,9 +7,16 @@
 // afford. Element counts are deterministic properties of the run (edges
 // scanned, relaxations, ...), so elements/sec moves only with host-side
 // cost per access: exactly the executor/footprint hot path this metric
-// exists to track. Output is JSON (schema aam-bench-wallclock-v1) so CI
+// exists to track. Output is JSON (schema aam-bench-wallclock-v2) so CI
 // can diff runs; tools/bench_record.sh wraps this into BENCH_wallclock.json.
+//
+// --fault=<spec> threads deterministic fault injection (aam::fault) into
+// every run, so CI can compare the simulator's host throughput with and
+// without recovery machinery active. The "pagerank-dist" row runs on a
+// 4-node Cluster specifically so network scenarios (lossy-net) have a
+// substrate to act on.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,12 +26,14 @@
 #include "algorithms/boruvka.hpp"
 #include "algorithms/coloring.hpp"
 #include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_dist.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/st_connectivity.hpp"
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
+#include "graph/partition.hpp"
 
 namespace {
 
@@ -150,6 +159,7 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get_string("json", "");
   const int batch = static_cast<int>(cli.get_int("batch", 16));
   int threads = static_cast<int>(cli.get_int("threads", 0));
+  const std::string fault_spec = bench::get_fault_spec(cli);
   cli.check_unknown();
   AAM_CHECK(repeats >= 1);
 
@@ -181,13 +191,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(g.num_vertices()) * 64;
 
   std::string json = "{\n";
-  json += "  \"schema\": \"aam-bench-wallclock-v1\",\n";
+  json += "  \"schema\": \"aam-bench-wallclock-v2\",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
   json += "  \"edge_factor\": " + std::to_string(edge_factor) + ",\n";
   json += "  \"machine\": \"" + config.name + "\",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"batch\": " + std::to_string(batch) + ",\n";
   json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+  json += "  \"fault\": \"" + fault_spec + "\",\n";
   json += "  \"results\": [\n";
 
   bool first = true;
@@ -202,6 +213,7 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < repeats; ++rep) {
         mem::SimHeap heap(heap_bytes);
         htm::DesMachine machine(config, kind, threads, heap, seed);
+        bench::ScopedFault fault(machine, fault_spec, seed);
         const auto t0 = Clock::now();
         out = algo.run(machine, g, wg, root, st_t, mech, batch, seed);
         const double seconds =
@@ -226,6 +238,46 @@ int main(int argc, char** argv) {
               std::to_string(out.stats.committed) + ", \"aborts\": " +
               std::to_string(out.stats.total_aborts()) + "}";
     }
+  }
+
+  // Distributed PageRank row: the one Cluster-backed entry, so network
+  // fault scenarios exercise the reliable-delivery protocol end to end.
+  if (algo_filter == "all" || algo_filter == "pagerank-dist") {
+    const int nodes = 4;
+    const int per_node = std::max(1, threads / nodes);
+    double best_seconds = 0;
+    algorithms::DistPrResult r;
+    std::uint64_t elements = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const graph::Block1D part(g.num_vertices(), nodes);
+      mem::SimHeap heap(heap_bytes);
+      net::Cluster cluster(config, kind, nodes, per_node, heap, seed);
+      bench::ScopedFault fault(cluster, fault_spec, seed);
+      algorithms::DistPrOptions o;
+      o.iterations = 3;
+      o.local_batch = batch;
+      const auto t0 = Clock::now();
+      r = algorithms::run_distributed_pagerank(cluster, g, part, o);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      elements = static_cast<std::uint64_t>(o.iterations) *
+                 (g.num_edges() + g.num_vertices());
+    }
+    const double rate =
+        best_seconds > 0 ? static_cast<double>(elements) / best_seconds : 0;
+    std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", "pagerank-dist", "am",
+                static_cast<unsigned long long>(elements),
+                best_seconds * 1e3, rate);
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"algorithm\": \"pagerank-dist\", \"mechanism\": \"am\", "
+            "\"elements\": " + std::to_string(elements) +
+            ", \"wall_seconds\": " + json_escape_double(best_seconds) +
+            ", \"elements_per_sec\": " + json_escape_double(rate) +
+            ", \"sim_time_ns\": " + json_escape_double(r.total_time_ns) +
+            ", \"commits\": " + std::to_string(r.stats.committed) +
+            ", \"aborts\": " + std::to_string(r.stats.total_aborts()) + "}";
   }
   json += "\n  ]\n}\n";
 

@@ -8,6 +8,16 @@
 // overhead, too large drowns in aborts/serializations. This controller
 // climbs that curve online with multiplicative-increase /
 // multiplicative-decrease on the observed abort rate.
+//
+// Under a sustained abort storm, plain MIMD oscillates: the controller
+// shrinks, the storm pauses, it doubles straight back up and is punished
+// again. An `escalated` outcome (a thread hit the engine's livelock
+// watermark, htm::ResilienceConfig) therefore switches the controller into
+// a cooldown regime: M drops to the minimum, stays pinned for
+// `cooldown_windows` decisions, and then re-grows only after
+// `grow_hysteresis` consecutive calm windows per doubling, until the
+// pre-escalation M is restored and normal control resumes. Clean runs
+// never see an escalated outcome and behave exactly as before.
 
 #include <algorithm>
 
@@ -25,6 +35,12 @@ class AdaptiveBatch {
     double low_water = 0.02;   ///< below: grow M (overhead-bound regime)
     double high_water = 0.25;  ///< above: shrink M (abort-bound regime)
     int window = 64;           ///< activities per adjustment decision
+    /// Cooldown regime entered on an escalated outcome: windows pinned at
+    /// min_batch before re-growth may begin.
+    int cooldown_windows = 4;
+    /// Calm (below-low_water) windows required per doubling while
+    /// recovering from an escalation.
+    int grow_hysteresis = 2;
   };
 
   AdaptiveBatch() : AdaptiveBatch(Options{}) {}
@@ -35,6 +51,17 @@ class AdaptiveBatch {
 
   /// Feed the outcome of one completed activity.
   void record(const htm::TxnOutcome& outcome) {
+    if (outcome.escalated) {
+      // Livelock escalation: degrade immediately (mid-window) and restart
+      // the cooldown clock; repeated escalations keep M pinned.
+      if (!recovering_) {
+        recovering_ = true;
+        restore_target_ = batch_;
+      }
+      batch_ = options_.min_batch;
+      cooldown_left_ = options_.cooldown_windows;
+      calm_windows_ = 0;
+    }
     ++activities_;
     aborts_ += outcome.aborts;
     if (outcome.serialized) ++serialized_;
@@ -42,7 +69,9 @@ class AdaptiveBatch {
 
     const double rate = static_cast<double>(aborts_ + 4 * serialized_) /
                         static_cast<double>(activities_);
-    if (rate > options_.high_water) {
+    if (recovering_) {
+      decide_recovering(rate);
+    } else if (rate > options_.high_water) {
       batch_ = std::max(options_.min_batch, batch_ / 2);
     } else if (rate < options_.low_water) {
       batch_ = std::min(options_.max_batch, batch_ * 2);
@@ -53,17 +82,46 @@ class AdaptiveBatch {
   }
 
   int batch() const { return batch_; }
+  /// True while in the post-escalation cooldown/re-growth regime.
+  bool recovering() const { return recovering_; }
   void reset(int m) {
     batch_ = std::clamp(m, options_.min_batch, options_.max_batch);
     activities_ = aborts_ = serialized_ = 0;
+    recovering_ = false;
+    cooldown_left_ = calm_windows_ = 0;
   }
 
  private:
+  void decide_recovering(double rate) {
+    if (rate > options_.high_water) {
+      // Still stormy: hold at min and restart the cooldown clock.
+      batch_ = options_.min_batch;
+      cooldown_left_ = options_.cooldown_windows;
+      calm_windows_ = 0;
+      return;
+    }
+    if (cooldown_left_ > 0) {
+      --cooldown_left_;
+      return;
+    }
+    calm_windows_ = rate < options_.low_water ? calm_windows_ + 1 : 0;
+    if (calm_windows_ >= options_.grow_hysteresis) {
+      calm_windows_ = 0;
+      batch_ = std::min({batch_ * 2, restore_target_, options_.max_batch});
+      if (batch_ >= restore_target_) recovering_ = false;
+    }
+  }
+
   Options options_;
   int batch_ = 1;
   long activities_ = 0;
   long aborts_ = 0;
   long serialized_ = 0;
+  // Cooldown state (inactive in clean runs).
+  bool recovering_ = false;
+  int restore_target_ = 0;   ///< M to climb back to after the storm
+  int cooldown_left_ = 0;    ///< windows still pinned at min_batch
+  int calm_windows_ = 0;     ///< consecutive calm windows seen so far
 };
 
 }  // namespace aam::core

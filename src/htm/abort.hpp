@@ -74,6 +74,11 @@ struct HtmStats {
 /// semantics live at the algorithm level, §3.2.2).
 struct TxnOutcome {
   bool serialized = false;  ///< completed on the irrevocable path
+  /// Serialized because the thread hit the livelock watermark (consecutive
+  /// aborts across activities, see htm::ResilienceConfig) rather than the
+  /// per-activity retry policy. AdaptiveBatch treats this as a signal to
+  /// enter its cooldown regime.
+  bool escalated = false;
   int aborts = 0;           ///< rollbacks before completion
   double start_ns = 0;      ///< virtual time of first attempt
   double end_ns = 0;        ///< virtual completion time

@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "util/check.hpp"
 
 namespace aam::htm {
+
+// ---------------------------------------------------------------------------
+// StallDiagnostic
+// ---------------------------------------------------------------------------
+
+std::string StallDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "simulation stalled: no activity completed for "
+     << (now_ns - last_progress_ns) << " simulated ns (now=" << now_ns
+     << ", last progress=" << last_progress_ns << ", " << inflight_txns
+     << " transaction(s) in flight, worst thread t" << worst_tid << " with "
+     << worst_streak << " consecutive aborts, " << events_processed
+     << " events processed)";
+  return os.str();
+}
 
 // ---------------------------------------------------------------------------
 // Txn
@@ -166,6 +182,7 @@ void DesMachine::reset_clocks(double t, bool clear_stats) {
     if (clear_stats) ts->stats = HtmStats{};
   }
   now_ = t;
+  last_progress_ = t;
 }
 
 void DesMachine::wake(std::uint32_t tid) {
@@ -205,6 +222,7 @@ void DesMachine::run() {
   // Host-side writes made between runs (initialisation, inter-phase
   // fixups) happen single-threaded and are sanctioned wholesale.
   if (write_observer_ != nullptr) write_observer_->on_run_start();
+  last_progress_ = std::max(last_progress_, now_);
   for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
   while (true) {
     while (!queue_.empty()) dispatch(queue_.pop());
@@ -218,6 +236,25 @@ void DesMachine::dispatch(const sim::Event& e) {
   ++events_processed_;
   AAM_DCHECK(e.time >= now_);
   now_ = e.time;
+  // Progress watchdog: with activities in flight, *something* must
+  // complete every watchdog_ns of virtual time — otherwise the retry
+  // machinery is livelocked (e.g. an abort storm with the retry cap
+  // disabled) and the event loop would spin forever.
+  if (resilience_.watchdog_ns > 0 && inflight_txns_ > 0 &&
+      now_ - last_progress_ > resilience_.watchdog_ns) {
+    StallDiagnostic d;
+    d.now_ns = now_;
+    d.last_progress_ns = last_progress_;
+    d.inflight_txns = inflight_txns_;
+    d.events_processed = events_processed_;
+    for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+      if (threads_[t]->consec_aborts >= d.worst_streak) {
+        d.worst_streak = threads_[t]->consec_aborts;
+        d.worst_tid = t;
+      }
+    }
+    throw StallError(d);
+  }
   switch (e.kind) {
     case kNext:
       on_next(e.thread);
@@ -254,7 +291,16 @@ void DesMachine::on_next(std::uint32_t tid) {
   AAM_DCHECK(ts.worker != nullptr);
   ts.ctx.clock_ = std::max(ts.ctx.clock_, now_);
   ts.ctx.staged_ = false;
+  const double before = ts.ctx.clock_;
   const bool more = ts.worker->next(ts.ctx);
+  if (fault_hook_ != nullptr) {
+    // Straggler/brown-out windows stretch the thread's non-transactional
+    // work (scans, buffering, sends) by the slowdown factor.
+    const double factor = fault_hook_->slowdown(tid, before);
+    if (factor > 1.0) {
+      ts.ctx.clock_ = before + (ts.ctx.clock_ - before) * factor;
+    }
+  }
   if (ts.ctx.staged_) {
     ts.ctx.staged_ = false;
     ts.txn_inflight = true;
@@ -263,7 +309,9 @@ void DesMachine::on_next(std::uint32_t tid) {
     ts.done = std::move(ts.ctx.staged_done_);
     ts.aborts_this_txn = 0;
     ts.capacity_aborts_this_txn = 0;
+    ts.escalated_this_txn = false;
     ts.first_start = ts.ctx.clock_;
+    ++inflight_txns_;
     attempt_speculative(tid);
   } else if (more) {
     queue_.push(ts.ctx.clock_, tid, kNext);
@@ -305,6 +353,13 @@ void DesMachine::attempt_speculative(std::uint32_t tid) {
     reason = a.reason;
   }
 
+  if (fault_hook_ != nullptr) {
+    // Stragglers run their speculative work slower too, widening the
+    // window in which they can be conflicted out.
+    const double factor = fault_hook_->slowdown(tid, start);
+    if (factor > 1.0) ts.txn_duration *= factor;
+  }
+
   if (aborted) {
     // The footprint accumulated up to the faulting access was paid for.
     handle_abort(tid, reason, start + ts.txn_duration);
@@ -312,6 +367,17 @@ void DesMachine::attempt_speculative(std::uint32_t tid) {
   }
 
   ts.txn_duration += costs_.commit_ns;
+
+  // Injected faults come first, *before* the machine's own model, so every
+  // injector fire maps to exactly one observed kOther abort (the injected
+  // count and the stats delta must agree — abort.hpp's exactness contract).
+  if (fault_hook_ != nullptr) {
+    double frac = 0;
+    if (fault_hook_->inject_other_abort(tid, start, ts.txn_duration, frac)) {
+      handle_abort(tid, AbortReason::kOther, start + frac * ts.txn_duration);
+      return;
+    }
+  }
 
   // Injected asynchronous aborts (interrupts etc.), duration-proportional.
   if (costs_.other_abort_per_us > 0) {
@@ -405,6 +471,7 @@ void DesMachine::handle_abort(std::uint32_t tid, AbortReason reason,
     case AbortReason::kExplicit: ++ts.stats.aborts_explicit; break;
   }
   ++ts.aborts_this_txn;
+  ++ts.consec_aborts;
 
   double resume = at_time + costs_.abort_ns;
 
@@ -419,6 +486,15 @@ void DesMachine::handle_abort(std::uint32_t tid, AbortReason reason,
     // (it may have been a transient associativity conflict), then falls
     // back to the lock.
     serialize = true;
+  } else if (resilience_.livelock_watermark > 0 &&
+             ts.consec_aborts >= resilience_.livelock_watermark) {
+    // Livelock escalation: the thread has aborted this many times in a row
+    // across activities without completing anything — the retry policy
+    // alone is not making progress (e.g. its cap is disabled, or a storm
+    // keeps restarting the streak). Go irrevocable and flag the outcome so
+    // AdaptiveBatch can enter its cooldown regime.
+    serialize = true;
+    ts.escalated_this_txn = true;
   }
 
   if (serialize) {
@@ -469,6 +545,11 @@ void DesMachine::enter_serialized(std::uint32_t tid, double ready_time) {
   }
   (void)aborted;
 
+  if (fault_hook_ != nullptr) {
+    const double factor = fault_hook_->slowdown(tid, start);
+    if (factor > 1.0) ts.txn_duration *= factor;
+  }
+
   const double end = start + ts.txn_duration;
   dom.free_at = end;
   queue_.push(end, tid, kSerialCommit);
@@ -498,10 +579,14 @@ void DesMachine::finish_txn(std::uint32_t tid, bool serialized,
   auto& ts = *threads_[tid];
   ts.txn_inflight = false;
   ts.want_serialize = false;
+  ts.consec_aborts = 0;  // any completion is progress, serialized included
+  --inflight_txns_;
+  last_progress_ = std::max(last_progress_, end_time);
   ts.ctx.clock_ = end_time;
   if (ts.done) {
     TxnOutcome outcome;
     outcome.serialized = serialized;
+    outcome.escalated = ts.escalated_this_txn;
     outcome.aborts = ts.aborts_this_txn;
     outcome.start_ns = ts.first_start;
     outcome.end_ns = end_time;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "htm/abort.hpp"
+#include "htm/resilience.hpp"
 #include "mem/footprint.hpp"
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
@@ -259,6 +260,18 @@ class DesMachine {
   }
   mem::WriteObserver* write_observer() const { return write_observer_; }
 
+  /// Registers (or clears, with nullptr) the fault-injection hook (see
+  /// htm::FaultHook). Not owned; must outlive run(). When unset the engine
+  /// takes no injection branches, so fault-free runs are bit-identical to
+  /// builds without the seam.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
+  /// Runtime-hardening knobs (livelock watermark, progress watchdog). The
+  /// defaults never trigger in fault-free runs; see ResilienceConfig.
+  void set_resilience(const ResilienceConfig& r) { resilience_ = r; }
+  const ResilienceConfig& resilience() const { return resilience_; }
+
   /// The footprint of `tid`'s most recent transactional attempt. Valid
   /// inside the activity's done callback (fires after commit, before the
   /// next attempt resets it); used by check::Checker to audit declared
@@ -304,6 +317,11 @@ class DesMachine {
     TxnDone done;
     int aborts_this_txn = 0;
     int capacity_aborts_this_txn = 0;
+    /// Aborts since this thread last completed *any* activity (completion
+    /// of a serialized activity also resets it: serialization is
+    /// progress). Drives the livelock watermark.
+    int consec_aborts = 0;
+    bool escalated_this_txn = false;
     double first_start = 0;   ///< time of the first speculative attempt
     double spec_start = 0;    ///< time of the current attempt
     std::uint64_t start_stamp = 0;  ///< global commit stamp at attempt start
@@ -382,6 +400,12 @@ class DesMachine {
   }
 
   mem::WriteObserver* write_observer_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
+  ResilienceConfig resilience_;
+  /// Virtual time of the last activity completion; with inflight_txns_ > 0
+  /// and no completion for watchdog_ns, dispatch() throws StallError.
+  double last_progress_ = 0;
+  int inflight_txns_ = 0;
 
   double now_ = 0;
   std::uint64_t events_processed_ = 0;

@@ -1,0 +1,86 @@
+#pragma once
+
+// Fault-injection seam and self-healing knobs of the DES engine.
+//
+// The engine only *counts* what actually happened (the abort.hpp contract:
+// counters are exact, never synthesized), so injected faults enter through
+// a hook that the engine consults at well-defined points:
+//
+//   * inject_other_abort() — once per successful speculative body run,
+//     before the machine's own Poisson "other"-abort model. A true return
+//     turns that attempt into exactly one observed kOther abort, so the
+//     injector's own count always equals the observed delta.
+//   * slowdown() — a multiplicative factor (>= 1) applied to a thread's
+//     elapsed virtual time; stragglers and node brown-outs are windows
+//     where the factor exceeds 1.
+//
+// The hardening side lives in ResilienceConfig: a per-thread consecutive-
+// abort watermark that escalates livelocked threads to the irrevocable
+// path (and flags the outcome so AdaptiveBatch can enter its cooldown
+// regime), and a global progress watchdog that turns a stalled simulation
+// into a structured StallError instead of an endless event loop.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace aam::htm {
+
+/// Injection interface consulted by DesMachine when installed (see
+/// DesMachine::set_fault_hook). Implemented by fault::FaultInjector; all
+/// randomness must come from streams forked off the simulation seed so the
+/// fault schedule is bit-reproducible.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Consulted after a speculative body ran to completion. Return true to
+  /// abort the attempt with AbortReason::kOther; `frac_out` (in [0, 1))
+  /// selects how far into the attempt the abort strikes.
+  virtual bool inject_other_abort(std::uint32_t tid, double start_ns,
+                                  double duration_ns, double& frac_out) = 0;
+
+  /// Multiplicative slowdown (>= 1.0) for `tid` around virtual time
+  /// `now_ns`. 1.0 = full speed.
+  virtual double slowdown(std::uint32_t tid, double now_ns) = 0;
+};
+
+/// Runtime-hardening configuration (DesMachine::set_resilience). The
+/// defaults are calibrated to be invisible in fault-free runs: the retry
+/// policies cap per-transaction abort streaks at max_retries + 2 << 32,
+/// and commits arrive many orders of magnitude more often than once per
+/// simulated second.
+struct ResilienceConfig {
+  /// Consecutive aborts on one thread — across activities, reset by any
+  /// completion — before the thread escalates to irrevocable
+  /// serialization and the activity's outcome is flagged `escalated`.
+  /// 0 disables livelock detection.
+  int livelock_watermark = 32;
+  /// Simulated nanoseconds without any activity completing, while at
+  /// least one transaction is in flight, before the watchdog throws
+  /// StallError. 0 disables the watchdog.
+  double watchdog_ns = 1e9;
+};
+
+/// What the watchdog saw when it declared the simulation stalled.
+struct StallDiagnostic {
+  double now_ns = 0;            ///< virtual time of the detection
+  double last_progress_ns = 0;  ///< virtual time of the last completion
+  int inflight_txns = 0;        ///< activities started but not completed
+  std::uint32_t worst_tid = 0;  ///< thread with the longest abort streak
+  int worst_streak = 0;         ///< that thread's consecutive aborts
+  std::uint64_t events_processed = 0;
+
+  std::string to_string() const;
+};
+
+/// Thrown out of DesMachine::run() by the progress watchdog. Carries the
+/// structured diagnostic; what() renders it for logs.
+class StallError : public std::runtime_error {
+ public:
+  explicit StallError(StallDiagnostic d)
+      : std::runtime_error(d.to_string()), diagnostic(d) {}
+  StallDiagnostic diagnostic;
+};
+
+}  // namespace aam::htm

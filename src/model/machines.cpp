@@ -92,6 +92,13 @@ MachineConfig make_has_c() {
   m.net.rmw_issue_ns = 900.0;
   m.net.rmw_latency_ns = 2600.0;
   m.net.am_dispatch_ns = 1100.0;
+
+  // Canned fault calibration: commodity desktop — OS jitter is the main
+  // hazard (interrupt storms on a shared box), the network is an
+  // afterthought, so the RTO tracks the modest AM round-trip.
+  m.fault.storm_rate_per_us = 0.8;
+  m.fault.net_rto_ns = 3.0 * (m.net.latency_ns + m.net.am_dispatch_ns);
+  m.fault.net_rto_cap_ns = 8.0 * m.fault.net_rto_ns;
   return m;
 }
 
@@ -131,6 +138,15 @@ MachineConfig make_has_p() {
   m.net.rmw_issue_ns = 1400.0;    // MPI RMA fetch-ops are not as pipelined
   m.net.rmw_latency_ns = 3200.0;
   m.net.am_dispatch_ns = 1600.0;  // generic MPI-based AM layer
+
+  // Canned fault calibration: HPC cluster — clean cores (rare OS jitter)
+  // but a real fabric: lossy-net and brown-outs (power capping on shared
+  // racks) are the interesting scenarios.
+  m.fault.storm_rate_per_us = 0.4;
+  m.fault.net_drop = 0.08;
+  m.fault.net_delay_spike = 0.04;
+  m.fault.net_rto_ns = 3.0 * (m.net.latency_ns + m.net.am_dispatch_ns);
+  m.fault.net_rto_cap_ns = 8.0 * m.fault.net_rto_ns;
   return m;
 }
 
@@ -197,6 +213,15 @@ MachineConfig make_bgq() {
   m.net.rmw_issue_ns = 350.0;     // PAMI_Rmw is deeply pipelined
   m.net.rmw_latency_ns = 3000.0;
   m.net.am_dispatch_ns = 800.0;   // PAMI's lean AM dispatch path
+
+  // Canned fault calibration: BG/Q already injects "other" aborts at a
+  // high base rate (Table 3c), so the storm adds relatively less; the
+  // torus has long links (larger RTO) and CNK's gang scheduling makes
+  // whole-node brown-outs the realistic slowdown mode.
+  m.fault.storm_rate_per_us = 0.3;
+  m.fault.straggler_fraction = 0.125;  // 64 threads: still 8 stragglers
+  m.fault.net_rto_ns = 3.0 * (m.net.latency_ns + m.net.am_dispatch_ns);
+  m.fault.net_rto_cap_ns = 8.0 * m.fault.net_rto_ns;
   return m;
 }
 

@@ -110,12 +110,45 @@ struct NetworkCosts {
   double am_dispatch_ns = 0;  ///< receiver-side handler dispatch per message
 };
 
+/// Per-machine calibration of the canned fault scenarios (aam::fault).
+/// These are the *defaults* a `--fault=<name>` spec expands to; every field
+/// can be overridden with key=value tokens. Rates are chosen so each
+/// scenario visibly stresses the machine's recovery paths (retransmits,
+/// retry policies, AdaptiveBatch cooldown) without starving progress.
+struct FaultProfile {
+  // abort-storm: extra Poisson rate of injected kOther aborts (events per
+  // microsecond of transaction duration), applied in square-wave bursts.
+  double storm_rate_per_us = 0.5;
+  double storm_period_ns = 2.0e5;  ///< burst square-wave period (0 = always on)
+  double storm_duty = 0.5;         ///< fraction of the period that storms
+  // lossy-net: per-transmission fault probabilities and magnitudes.
+  double net_drop = 0.05;
+  double net_duplicate = 0.03;
+  double net_reorder = 0.10;        ///< probability of reorder jitter
+  double net_reorder_ns = 2000.0;   ///< max extra jitter when reordered
+  double net_delay_spike = 0.02;    ///< probability of a delay spike
+  double net_delay_spike_ns = 20000.0;
+  double net_rto_ns = 8000.0;       ///< initial retransmit timeout
+  double net_rto_cap_ns = 64000.0;  ///< exponential-backoff cap
+  // straggler: a deterministic subset of threads runs slower in windows.
+  double straggler_fraction = 0.25;  ///< fraction of threads affected
+  double straggler_factor = 4.0;     ///< multiplicative slowdown
+  double straggler_period_ns = 4.0e5;
+  double straggler_duty = 0.5;
+  // brownout: whole simulated nodes transiently slow down.
+  double brownout_fraction = 0.5;
+  double brownout_factor = 6.0;
+  double brownout_period_ns = 1.0e6;
+  double brownout_duty = 0.25;
+};
+
 struct MachineConfig {
   std::string name;
   int cores = 1;
   int smt = 1;
   AtomicCosts atomics;
   NetworkCosts net;
+  FaultProfile fault;
   std::vector<HtmKind> supported_htm;
 
   int max_threads() const { return cores * smt; }

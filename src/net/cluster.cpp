@@ -22,6 +22,18 @@ std::uint32_t Cluster::register_handler(AmHandler handler) {
   return static_cast<std::uint32_t>(handlers_.size() - 1);
 }
 
+void Cluster::set_fault_hook(NetFaultHook* hook) {
+  AAM_CHECK_MSG(in_flight_ == 0,
+                "fault hook must be (un)installed with no messages in flight");
+  net_hook_ = hook;
+  if (hook != nullptr && send_channels_.empty()) {
+    const std::size_t pairs = static_cast<std::size_t>(num_nodes_) *
+                              static_cast<std::size_t>(num_nodes_);
+    send_channels_.resize(pairs);
+    recv_channels_.resize(pairs);
+  }
+}
+
 void Cluster::send(htm::ThreadCtx& ctx, int dst_node, std::uint32_t handler,
                    std::uint64_t arg0, std::uint64_t arg1,
                    std::vector<std::uint64_t> payload) {
@@ -47,10 +59,24 @@ void Cluster::send(htm::ThreadCtx& ctx, int dst_node, std::uint32_t handler,
   // wire; the byte cost is charged to the wire, not the sender, as NICs
   // stream from memory).
   ctx.compute(n.overhead_ns);
+  ++in_flight_;
+
+  if (protocol_active()) {
+    // Reliable delivery: tag with the channel's next sequence number,
+    // retain a copy for retransmission, and arm the timeout. The message
+    // stays in flight until its first (deduplicated) arrival.
+    SendChannel& ch = send_channel(src, dst_node);
+    msg.seq = ch.next_seq++;
+    ch.pending.emplace(msg.seq,
+                       PendingSend{msg, net_hook_->initial_rto_ns()});
+    const double at = ctx.now();
+    transmit(msg, at, /*retransmit=*/false);
+    arm_retransmit(src, dst_node, msg.seq, at);
+    return;
+  }
 
   const double arrival = ctx.now() + n.latency_ns +
                          static_cast<double>(bytes) * n.byte_ns;
-  ++in_flight_;
   machine_.schedule_callback(arrival, [this, m = std::move(msg)]() mutable {
     const int node = m.dst_node;
     queues_[node].push_back(std::move(m));
@@ -60,6 +86,76 @@ void Cluster::send(htm::ThreadCtx& ctx, int dst_node, std::uint32_t handler,
       machine_.wake(thread_of(node, t));
     }
   });
+}
+
+void Cluster::transmit(const Message& msg, double at, bool retransmit) {
+  const auto& n = config().net;
+  if (retransmit) ++stats_.retransmitted;
+  const MessageFate fate = net_hook_->fate(msg, retransmit);
+  const double arrival =
+      at + n.latency_ns + static_cast<double>(msg.wire_bytes()) * n.byte_ns +
+      fate.extra_delay_ns;
+  if (fate.drop) {
+    ++stats_.dropped;
+  } else {
+    machine_.schedule_callback(arrival, [this, m = msg]() mutable {
+      deliver(std::move(m));
+    });
+  }
+  if (fate.duplicate) {
+    ++stats_.duplicated;
+    machine_.schedule_callback(arrival + fate.duplicate_delay_ns,
+                               [this, m = msg]() mutable {
+                                 deliver(std::move(m));
+                               });
+  }
+}
+
+void Cluster::arm_retransmit(int src, int dst, std::uint64_t seq, double at) {
+  SendChannel& ch = send_channel(src, dst);
+  const auto it = ch.pending.find(seq);
+  if (it == ch.pending.end()) return;  // already acked
+  machine_.schedule_callback(at + it->second.rto_ns, [this, src, dst, seq] {
+    SendChannel& c = send_channel(src, dst);
+    const auto p = c.pending.find(seq);
+    if (p == c.pending.end()) return;  // ack landed in the meantime
+    // Exponential backoff with a cap, then go again: retransmission is
+    // NIC-side (the sending thread is not re-charged the overhead o).
+    p->second.rto_ns = std::min(p->second.rto_ns * 2.0,
+                                net_hook_->rto_cap_ns());
+    const double now = machine_.now();
+    transmit(p->second.msg, now, /*retransmit=*/true);
+    arm_retransmit(src, dst, seq, now);
+  });
+}
+
+void Cluster::deliver(Message m) {
+  // Ack every arriving copy (the copy whose ack got outrun by a timeout
+  // just re-acks a no-longer-pending seq, which is a no-op), then discard
+  // duplicates before they reach the node's queue: exactly-once delivery.
+  send_ack(m.src_node, m.dst_node, m.seq, machine_.now());
+  RecvChannel& rc = recv_channel(m.src_node, m.dst_node);
+  if (!rc.accept(m.seq)) {
+    ++stats_.dedup_discarded;
+    return;
+  }
+  const int node = m.dst_node;
+  queues_[node].push_back(std::move(m));
+  --in_flight_;
+  for (int t = 0; t < threads_per_node_; ++t) {
+    machine_.wake(thread_of(node, t));
+  }
+}
+
+void Cluster::send_ack(int src, int dst, std::uint64_t seq, double at) {
+  machine_.schedule_callback(
+      at + config().net.latency_ns, [this, src, dst, seq] {
+        SendChannel& ch = send_channel(src, dst);
+        const auto it = ch.pending.find(seq);
+        if (it == ch.pending.end()) return;
+        ch.pending.erase(it);
+        ++stats_.acked;
+      });
 }
 
 bool Cluster::poll(htm::ThreadCtx& ctx, Message& out) {

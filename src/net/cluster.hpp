@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "htm/des_engine.hpp"
@@ -37,6 +39,9 @@ struct Message {
   std::uint32_t handler = 0;
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  /// Per-(src,dst) channel sequence number; 0 = unsequenced (the reliable-
+  /// delivery protocol is off). Fits in the fixed header below.
+  std::uint64_t seq = 0;
   std::vector<std::uint64_t> payload;  ///< coalesced items
 
   /// Modelled wire size: a fixed header plus 8 bytes per payload item.
@@ -46,11 +51,43 @@ struct Message {
 /// Receiver-side handler; runs on a polling thread of the target node.
 using AmHandler = std::function<void(htm::ThreadCtx&, const Message&)>;
 
+/// What the fault layer decided for one wire transmission (original send
+/// or retransmission) of an active message.
+struct MessageFate {
+  bool drop = false;       ///< the copy never arrives
+  bool duplicate = false;  ///< a second copy also arrives
+  double extra_delay_ns = 0;      ///< delay spike / reorder jitter
+  double duplicate_delay_ns = 0;  ///< additional delay of the duplicate
+};
+
+/// Network fault-injection seam (Cluster::set_fault_hook). Implemented by
+/// fault::FaultInjector; decisions must be drawn from streams forked off
+/// the simulation seed. While `net_active()` is true the cluster runs the
+/// reliable-delivery protocol (sequence numbers, receiver dedup, sender
+/// ack/timeout/retransmit); when false, sends take the original
+/// zero-overhead path and are bit-identical to a hook-free build.
+class NetFaultHook {
+ public:
+  virtual ~NetFaultHook() = default;
+  virtual bool net_active() const = 0;
+  /// Consulted once per wire transmission (retransmissions included).
+  virtual MessageFate fate(const Message& msg, bool retransmit) = 0;
+  /// Initial sender retransmit timeout and its exponential-backoff cap.
+  virtual double initial_rto_ns() const = 0;
+  virtual double rto_cap_ns() const = 0;
+};
+
 struct NetStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;  ///< logical sends (excl. retransmits)
+  std::uint64_t bytes_sent = 0;     ///< wire bytes of logical sends
   std::uint64_t items_sent = 0;   ///< payload items (coalescing numerator)
   std::uint64_t remote_atomics = 0;
+  // Reliable-delivery protocol counters (all zero with the protocol off).
+  std::uint64_t dropped = 0;          ///< wire copies lost to injection
+  std::uint64_t duplicated = 0;       ///< injected duplicate wire copies
+  std::uint64_t retransmitted = 0;    ///< sender timeout retransmissions
+  std::uint64_t acked = 0;            ///< sends confirmed by a first ack
+  std::uint64_t dedup_discarded = 0;  ///< receiver-side duplicate discards
 };
 
 class Cluster {
@@ -101,7 +138,65 @@ class Cluster {
   const NetStats& stats() const { return stats_; }
   NetStats& stats_mutable() { return stats_; }
 
+  /// Installs (or clears, with nullptr) the network fault hook. Not owned;
+  /// must outlive the cluster's traffic. Must be called while nothing is
+  /// in flight — the delivery guarantee is per-message, not retrofittable.
+  void set_fault_hook(NetFaultHook* hook);
+  NetFaultHook* fault_hook() const { return net_hook_; }
+
  private:
+  bool protocol_active() const {
+    return net_hook_ != nullptr && net_hook_->net_active();
+  }
+
+  /// One wire transmission of a sequenced message at virtual time `at`:
+  /// consults the fault hook, schedules arrival(s), and counts.
+  void transmit(const Message& msg, double at, bool retransmit);
+  /// Arms the sender-side timeout for pending message `seq`; fires at
+  /// `at` + the pending entry's current RTO, doubles it (capped), and
+  /// retransmits unless the ack landed first.
+  void arm_retransmit(int src, int dst, std::uint64_t seq, double at);
+  /// Receiver-side arrival of one wire copy: acks, dedups, enqueues.
+  void deliver(Message m);
+  /// NIC-side ack from `dst` back to `src` for `seq` (control plane:
+  /// header-only, modelled reliable).
+  void send_ack(int src, int dst, std::uint64_t seq, double at);
+
+  /// Sender book-keeping for one unacked sequenced message.
+  struct PendingSend {
+    Message msg;        ///< retained copy for retransmission
+    double rto_ns = 0;  ///< current timeout (doubles per retransmit)
+  };
+  struct SendChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, PendingSend> pending;
+  };
+  struct RecvChannel {
+    std::uint64_t next_expected = 1;  ///< all seq below this were accepted
+    std::set<std::uint64_t> seen_ahead;
+
+    /// True if `seq` is new (advances the watermark); false = duplicate.
+    bool accept(std::uint64_t seq) {
+      if (seq < next_expected) return false;
+      if (!seen_ahead.insert(seq).second) return false;
+      while (!seen_ahead.empty() && *seen_ahead.begin() == next_expected) {
+        seen_ahead.erase(seen_ahead.begin());
+        ++next_expected;
+      }
+      return true;
+    }
+  };
+  SendChannel& send_channel(int src, int dst) {
+    return send_channels_[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(num_nodes_) +
+                          static_cast<std::size_t>(dst)];
+  }
+  RecvChannel& recv_channel(int src, int dst) {
+    return recv_channels_[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(num_nodes_) +
+                          static_cast<std::size_t>(dst)];
+  }
+
   htm::DesMachine machine_;
   int num_nodes_;
   int threads_per_node_;
@@ -109,6 +204,9 @@ class Cluster {
   std::vector<std::deque<Message>> queues_;
   NetStats stats_;
   std::uint64_t in_flight_ = 0;
+  NetFaultHook* net_hook_ = nullptr;
+  std::vector<SendChannel> send_channels_;  // lazily sized on hook install
+  std::vector<RecvChannel> recv_channels_;
 };
 
 /// Per-destination buffering of operator invocations: messages flowing to

@@ -121,6 +121,62 @@ TEST(AdaptiveBatch, ShrinksUnderAborts) {
   EXPECT_EQ(ab.batch(), opt.min_batch);
 }
 
+TEST(AdaptiveBatch, RecoversFromAbortStormWithCooldown) {
+  // Hardening scenario: reach a steady-state M, take an escalation storm
+  // (the engine's livelock signal), then calm down. The controller must
+  // (a) degrade to min_batch immediately, (b) hold through the cooldown
+  // and the storm's tail, and (c) climb back to the pre-storm M within a
+  // bounded number of calm windows — without oscillating mid-storm.
+  AdaptiveBatch::Options opt;
+  opt.initial = 8;
+  opt.window = 4;
+  opt.max_batch = 64;
+  opt.cooldown_windows = 2;
+  opt.grow_hysteresis = 2;
+  AdaptiveBatch ab(opt);
+
+  htm::TxnOutcome clean;
+  for (int i = 0; i < 100; ++i) ab.record(clean);
+  ASSERT_EQ(ab.batch(), 64);  // fault-free steady state
+  ASSERT_FALSE(ab.recovering());
+
+  // Escalation storm: M collapses to min on the first escalated outcome
+  // and stays pinned while the storm lasts.
+  htm::TxnOutcome escalated;
+  escalated.serialized = true;
+  escalated.escalated = true;
+  escalated.aborts = 3;
+  ab.record(escalated);
+  EXPECT_EQ(ab.batch(), opt.min_batch);
+  EXPECT_TRUE(ab.recovering());
+  for (int i = 0; i < 6 * opt.window; ++i) {
+    ab.record(escalated);
+    EXPECT_EQ(ab.batch(), opt.min_batch);
+  }
+
+  // Calm: recovery must restore the pre-storm M within the budgeted
+  // window count — cooldown + hysteresis per doubling (1->64 is six
+  // doublings) — and then leave the recovery regime.
+  const int budget_windows =
+      opt.cooldown_windows + 6 * opt.grow_hysteresis + 2;
+  int windows_to_recover = -1;
+  for (int w = 0; w < budget_windows; ++w) {
+    for (int i = 0; i < opt.window; ++i) ab.record(clean);
+    EXPECT_LE(ab.batch(), 64) << "recovery overshot the pre-storm M";
+    if (ab.batch() == 64) {
+      windows_to_recover = w + 1;
+      break;
+    }
+  }
+  EXPECT_NE(windows_to_recover, -1)
+      << "did not recover within " << budget_windows << " windows";
+  EXPECT_FALSE(ab.recovering());
+
+  // Back to normal control: further calm windows may grow M again.
+  for (int i = 0; i < 2 * opt.window; ++i) ab.record(clean);
+  EXPECT_EQ(ab.batch(), 64);
+}
+
 // --------------------------------------------------- DistributedRuntime
 
 class ProduceRange : public DistributedRuntime::Worker {

@@ -5,9 +5,10 @@
 # Usage: tools/bench_record.sh <bench_throughput-binary> [output.json] [args...]
 #
 # Extra args are forwarded to bench_throughput (e.g. --scale=12 for a CI
-# smoke run). Exits non-zero when the binary fails or the JSON does not
-# match the aam-bench-wallclock-v1 schema (missing keys, empty results,
-# or non-positive throughput).
+# smoke run, or --fault=lossy-net to record recovery-path throughput).
+# Exits non-zero when the binary fails or the JSON does not match the
+# aam-bench-wallclock-v2 schema (missing keys, empty results, or
+# non-positive throughput).
 set -euo pipefail
 
 if [[ $# -lt 1 ]]; then
@@ -36,9 +37,9 @@ def fail(msg):
     print(f"bench_record: schema error in {path}: {msg}", file=sys.stderr)
     sys.exit(1)
 
-if doc.get("schema") != "aam-bench-wallclock-v1":
+if doc.get("schema") != "aam-bench-wallclock-v2":
     fail(f"unexpected schema {doc.get('schema')!r}")
-for key in ("scale", "machine", "threads", "results"):
+for key in ("scale", "machine", "threads", "fault", "results"):
     if key not in doc:
         fail(f"missing top-level key {key!r}")
 results = doc["results"]
@@ -53,5 +54,5 @@ for r in results:
         fail(f"non-positive throughput: {r}")
 print(f"bench_record: {path} OK "
       f"({len(results)} entries, scale={doc['scale']}, "
-      f"machine={doc['machine']})")
+      f"machine={doc['machine']}, fault={doc['fault']})")
 EOF

@@ -1,0 +1,23 @@
+#pragma once
+
+// Self-test fixture for tools/lint_operators.sh: the lint must REJECT this
+// file (exit 1, pass 3). Simulated code reading the host clock breaks the
+// seed-purity contract: two runs with the same seed would diverge with
+// host load. steady_clock spelled inside comments must NOT trip the pass;
+// the uncommented read below must.
+
+#include <chrono>
+
+namespace lint_fixture {
+
+/* A block comment naming std::chrono::steady_clock::now() is fine. */
+
+inline double bad_elapsed_ns() {
+  // steady_clock::now() in a line comment is also fine.
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace lint_fixture

@@ -20,11 +20,22 @@
 # static effect-signature analyzer, which replays operators through
 # analysis::AbstractAccess via the same template seam.
 #
+# Pass 3 — nondeterminism sources. The simulator must be a pure function
+# of its seed: simulated components draw randomness from util::Rng streams
+# and time from the DES clock, never from the host. After stripping
+# comments, flags std::rand/srand and wall-clock reads (gettimeofday,
+# clock_gettime, steady_clock/system_clock/high_resolution_clock) in any
+# file under src/ outside src/sim/ (the DES core legitimately defines the
+# clock). Host-side measurement code that *must* read real time (the
+# threaded execution baseline, the bench harnesses) annotates the line
+# with a `lint:allow-wallclock` comment marker.
+#
 # Usage: lint_operators.sh [file...]
-#   With no arguments, lints src/algorithms/*.cpp and *.hpp.
-#   With arguments, lints exactly those files (used by the self-test:
-#   tools/lint_operators_selftest.sh runs this against known-good and
-#   known-bad fixtures in tools/lint_fixtures/).
+#   With no arguments, passes 1-2 lint src/algorithms/*.cpp and *.hpp and
+#   pass 3 lints every src/**/*.cpp|hpp outside src/sim/.
+#   With arguments, all passes lint exactly those files (used by the
+#   self-test: tools/lint_operators_selftest.sh runs this against
+#   known-good and known-bad fixtures in tools/lint_fixtures/).
 #
 # Pure POSIX sh + awk (no clang tooling required). Exit 0 = clean,
 # exit 1 = violations printed one per line as file:line: code.
@@ -32,6 +43,7 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+explicit_files=$#
 if [ "$#" -eq 0 ]; then
   cd "$repo_root"
   set -- src/algorithms/*.cpp src/algorithms/*.hpp
@@ -99,9 +111,44 @@ for f in "$@"; do
   ' "$f" || status=1
 done
 
+# Pass 3 file set: the explicit arguments, or the seeded-determinism
+# surface (all of src/ except the DES core, which owns the clock).
+if [ "$explicit_files" -eq 0 ]; then
+  set -- $(find src -name '*.cpp' -o -name '*.hpp' | grep -v '^src/sim/' | sort)
+fi
+
+for f in "$@"; do
+  awk '
+    {
+      raw = $0
+      line = $0
+      if (inblock) {
+        i = index(line, "*/")
+        if (i == 0) next
+        line = substr(line, i + 2)
+        inblock = 0
+      }
+      while ((s = index(line, "/*")) > 0) {
+        e = index(substr(line, s + 2), "*/")
+        if (e == 0) { line = substr(line, 1, s - 1); inblock = 1; break }
+        line = substr(line, 1, s - 1) substr(line, s + e + 3)
+      }
+      sub(/\/\/.*/, "", line)
+      if (raw ~ /lint:allow-wallclock/) next
+      if (line ~ /std::rand[ \t]*\(|[^A-Za-z0-9_]srand[ \t]*\(|gettimeofday|clock_gettime|steady_clock|system_clock|high_resolution_clock/) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        bad = 1
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$f" || status=1
+done
+
 if [ "$status" -ne 0 ]; then
   echo "lint_operators: operator bodies must route mutations through the" >&2
-  echo "access surface (access.store/cas/fetch_add) and take it as a" >&2
-  echo "templated Acc& parameter, never core::Access& directly" >&2
+  echo "access surface (access.store/cas/fetch_add), take it as a templated" >&2
+  echo "Acc& parameter (never core::Access& directly), and simulated code" >&2
+  echo "must draw time/randomness from the DES clock and util::Rng, not the" >&2
+  echo "host (mark intentional host-time reads with lint:allow-wallclock)" >&2
 fi
 exit "$status"

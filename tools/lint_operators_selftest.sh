@@ -23,6 +23,14 @@ if "$lint" "$fixtures/bad_access_param.hpp" >/dev/null 2>&1; then
   echo "FAIL: bad_access_param.hpp accepted (core::Access& pass broken)" >&2
   fail=1
 fi
+if "$lint" "$fixtures/bad_wallclock.hpp" >/dev/null 2>&1; then
+  echo "FAIL: bad_wallclock.hpp accepted (wall-clock pass broken)" >&2
+  fail=1
+fi
+if ! "$lint" "$fixtures/good_wallclock_marker.hpp"; then
+  echo "FAIL: good_wallclock_marker.hpp rejected (allow marker broken)" >&2
+  fail=1
+fi
 # The real tree must still be clean under both passes.
 if ! "$lint"; then
   echo "FAIL: src/algorithms/ no longer passes the lint" >&2
