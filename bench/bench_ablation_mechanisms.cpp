@@ -22,7 +22,10 @@
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/st_connectivity.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/recommend.hpp"
 #include "bench_common.hpp"
+#include "core/auto_executor.hpp"
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
@@ -38,10 +41,12 @@ struct RunResult {
 
 using Runner = std::function<RunResult(htm::DesMachine&, core::Mechanism,
                                        int batch,
-                                       core::ExecutorDecorator* decorator)>;
+                                       core::ExecutorDecorator* decorator,
+                                       const core::AutoPolicy* policy)>;
 
 struct Algo {
   std::string name;
+  bool weighted = false;  ///< runs on wg, so auto probes that workload
   Runner run;
 };
 
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
   // M=opt); default sweeps everything.
   std::vector<std::string> choices = {"all"};
   for (const auto m : core::all_mechanisms()) choices.push_back(core::to_string(m));
+  choices.push_back("auto");
   const std::string only = cli.get_choice("mechanism", "all", choices);
   const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
@@ -103,74 +109,80 @@ int main(int argc, char** argv) {
   const double mst_ref = algorithms::mst_reference_weight(wg);
 
   const std::vector<Algo> algos = {
-      {"bfs",
+      {"bfs", false,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::BfsOptions o;
          o.root = root;
          o.mechanism = mech;
          o.batch = batch;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_bfs(m, g, o);
          AAM_CHECK(algorithms::validate_bfs_tree(g, root, r.parent));
          return RunResult{r.total_time_ns, r.stats};
        }},
-      {"pagerank",
+      {"pagerank", false,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::PageRankOptions o;
          o.iterations = pr_iters;
          o.mechanism = mech;
          o.batch = batch;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_pagerank(m, g, o);
          AAM_CHECK(!r.rank.empty());
          return RunResult{r.total_time_ns, r.stats};
        }},
-      {"sssp",
+      {"sssp", true,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::SsspOptions o;
          o.source = 0;
          o.mechanism = mech;
          o.batch = batch;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_sssp(m, wg, o);
          AAM_CHECK(r.relaxations > 0);
          return RunResult{r.total_time_ns, r.stats};
        }},
-      {"coloring",
+      {"coloring", false,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::ColoringOptions o;
          o.mechanism = mech;
          o.batch = batch;
          o.seed = seed;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_boman_coloring(m, g, o);
          AAM_CHECK(algorithms::validate_coloring(g, r.color));
          return RunResult{r.total_time_ns, r.stats};
        }},
-      {"st-conn",
+      {"st-conn", false,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::StConnOptions o;
          o.s = root;
          o.t = st_t;
          o.mechanism = mech;
          o.batch = batch;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_st_connectivity(m, g, o);
          AAM_CHECK(r.vertices_colored > 0);
          return RunResult{r.total_time_ns, r.stats};
        }},
-      {"boruvka",
+      {"boruvka", true,
        [&](htm::DesMachine& m, core::Mechanism mech, int batch,
-           core::ExecutorDecorator* dec) {
+           core::ExecutorDecorator* dec, const core::AutoPolicy* policy) {
          algorithms::BoruvkaOptions o;
          o.mechanism = mech;
          o.batch = batch;
          o.decorator = dec;
+         o.auto_policy = policy;
          const auto r = algorithms::run_boruvka(m, wg, o);
          AAM_CHECK(r.total_weight <= mst_ref * 1.0001 + 1.0);
          return RunResult{r.total_time_ns, r.stats};
@@ -192,6 +204,7 @@ int main(int argc, char** argv) {
     std::string label;
     core::Mechanism mech;
     int batch;  ///< 0 = use the machine's optimum M
+    bool is_auto = false;
   };
 
   const std::size_t heap_bytes = (std::size_t{1} << 20) * 64;
@@ -205,12 +218,21 @@ int main(int argc, char** argv) {
         {"htm M=1", core::Mechanism::kHtmCoarsened, 1},
         {"htm M=" + std::to_string(setup.opt_m),
          core::Mechanism::kHtmCoarsened, 0},
+        {"auto", core::Mechanism::kHtmCoarsened, 0, true},
     };
     if (only != "all") {
       std::erase_if(variants, [&](const Variant& v) {
-        return only != core::to_string(v.mech);
+        return only != (v.is_auto ? "auto" : core::to_string(v.mech));
       });
     }
+
+    // Static routing tables for the auto variant, one per input graph.
+    const core::AutoPolicy policy_g = analysis::make_auto_policy(
+        *setup.config, setup.kind,
+        analysis::workload_from_graph(g, setup.threads, setup.opt_m));
+    const core::AutoPolicy policy_wg = analysis::make_auto_policy(
+        *setup.config, setup.kind,
+        analysis::workload_from_graph(wg, setup.threads, setup.opt_m));
 
     util::Table table({"algorithm", "mechanism", "runtime", "vs atomics",
                        "commits", "aborts", "cas", "acc"});
@@ -222,8 +244,14 @@ int main(int argc, char** argv) {
         htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
                                 heap, seed);
         bench::ScopedChecker scoped(machine, check_cfg);
+        const core::AutoPolicy* policy =
+            v.is_auto ? (algo.weighted ? &policy_wg : &policy_g) : nullptr;
+        // Audit the auto dispatcher against its own capacity analysis.
+        if (scoped.checker() != nullptr) {
+          scoped.checker()->set_capacity_policy(policy);
+        }
         const RunResult r = algo.run(machine, v.mech, batch,
-                                     scoped.decorator());
+                                     scoped.decorator(), policy);
         if (v.mech == core::Mechanism::kAtomicOps) atomics_time = r.time_ns;
         const std::string speedup =
             atomics_time > 0 ? bench::speedup_str(atomics_time / r.time_ns) + "x"

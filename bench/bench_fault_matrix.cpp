@@ -38,7 +38,10 @@
 #include "algorithms/pagerank_dist.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/st_connectivity.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/recommend.hpp"
 #include "bench_common.hpp"
+#include "core/auto_executor.hpp"
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
@@ -127,10 +130,11 @@ Inputs make_inputs(int scale, std::uint64_t seed) {
 
 Projection run_cell(htm::DesMachine& machine, const Inputs& in,
                     const std::string& algo, core::Mechanism mech,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const core::AutoPolicy* policy) {
   Projection p;
   if (algo == "bfs") {
     algorithms::BfsOptions o;
+    o.auto_policy = policy;
     o.root = in.root;
     o.mechanism = mech;
     const auto r = algorithms::run_bfs(machine, in.g, o);
@@ -138,6 +142,7 @@ Projection run_cell(htm::DesMachine& machine, const Inputs& in,
     p.exact.push_back(r.vertices_visited);
   } else if (algo == "pagerank") {
     algorithms::PageRankOptions o;
+    o.auto_policy = policy;
     o.iterations = 3;
     o.mechanism = mech;
     const auto r = algorithms::run_pagerank(machine, in.g, o);
@@ -145,6 +150,7 @@ Projection run_cell(htm::DesMachine& machine, const Inputs& in,
     p.tolerance = 1e-9;
   } else if (algo == "sssp") {
     algorithms::SsspOptions o;
+    o.auto_policy = policy;
     o.source = 0;
     o.mechanism = mech;
     const auto r = algorithms::run_sssp(machine, in.wg, o);
@@ -152,12 +158,14 @@ Projection run_cell(htm::DesMachine& machine, const Inputs& in,
     p.tolerance = 1e-9;
   } else if (algo == "coloring") {
     algorithms::ColoringOptions o;
+    o.auto_policy = policy;
     o.mechanism = mech;
     o.seed = seed + 6;
     const auto r = algorithms::run_boman_coloring(machine, in.g, o);
     p.exact.push_back(coloring_valid(in.g, r.color) ? 1 : 0);
   } else if (algo == "st-conn") {
     algorithms::StConnOptions o;
+    o.auto_policy = policy;
     o.s = in.root;
     o.t = in.st_t;
     o.mechanism = mech;
@@ -165,6 +173,7 @@ Projection run_cell(htm::DesMachine& machine, const Inputs& in,
     p.exact.push_back(r.connected ? 1 : 0);
   } else if (algo == "boruvka") {
     algorithms::BoruvkaOptions o;
+    o.auto_policy = policy;
     o.mechanism = mech;
     const auto r = algorithms::run_boruvka(machine, in.wg, o);
     p.exact.push_back(r.edges_in_forest);
@@ -280,6 +289,7 @@ int main(int argc, char** argv) {
   for (const auto m : core::all_mechanisms()) {
     mech_choices.push_back(core::to_string(m));
   }
+  mech_choices.push_back("auto");
   const std::string only_mech =
       cli.get_choice("mechanism", "all", mech_choices);
   const std::string machine_filter = cli.get_string("machine", "all");
@@ -328,19 +338,41 @@ int main(int argc, char** argv) {
   int cells = 0;
   int failures = 0;
   for (const Setup& setup : setups) {
+    // Static routing tables for the auto cells, one per input graph.
+    const core::AutoPolicy policy_g = analysis::make_auto_policy(
+        *setup.config, setup.kind,
+        analysis::workload_from_graph(in.g, setup.threads, 16));
+    const core::AutoPolicy policy_wg = analysis::make_auto_policy(
+        *setup.config, setup.kind,
+        analysis::workload_from_graph(in.wg, setup.threads, 16));
+    struct Cell {
+      const char* label;
+      core::Mechanism mech;
+      bool is_auto;
+    };
+    std::vector<Cell> mech_cells;
+    for (const core::Mechanism mech : core::all_mechanisms()) {
+      if (only_mech == "all" || only_mech == core::to_string(mech)) {
+        mech_cells.push_back({core::to_string(mech), mech, false});
+      }
+    }
+    if (only_mech == "all" || only_mech == "auto") {
+      mech_cells.push_back({"auto", core::Mechanism::kHtmCoarsened, true});
+    }
+
     // Shared-memory cells.
     for (const std::string& algo : algos) {
       if (algo_filter != "all" && algo_filter != algo) continue;
-      for (const core::Mechanism mech : core::all_mechanisms()) {
-        if (only_mech != "all" && only_mech != core::to_string(mech)) {
-          continue;
-        }
+      const bool weighted = algo == "sssp" || algo == "boruvka";
+      for (const Cell& cell : mech_cells) {
+        const core::AutoPolicy* policy =
+            cell.is_auto ? (weighted ? &policy_wg : &policy_g) : nullptr;
         Projection base;
         {
           mem::SimHeap heap((std::size_t{1} << 20) * 8);
           htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
                                   heap, seed);
-          base = run_cell(machine, in, algo, mech, seed);
+          base = run_cell(machine, in, algo, cell.mech, seed, policy);
         }
         for (const std::string& scenario : scenarios) {
           ++cells;
@@ -348,15 +380,15 @@ int main(int argc, char** argv) {
           htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
                                   heap, seed);
           bench::ScopedFault fault(machine, scenario, seed);
-          const Projection got = run_cell(machine, in, algo, mech, seed);
+          const Projection got =
+              run_cell(machine, in, algo, cell.mech, seed, policy);
           const std::string diff = compare(base, got);
           const bool ok = diff.empty();
           if (!ok) ++failures;
           std::printf("%-5s %-8s %-13s %-12s %s%s%s\n",
-                      setup.config->name.c_str(), algo.c_str(),
-                      core::to_string(mech), scenario.c_str(),
-                      ok ? "OK" : "MISMATCH", ok ? "" : ": ",
-                      diff.c_str());
+                      setup.config->name.c_str(), algo.c_str(), cell.label,
+                      scenario.c_str(), ok ? "OK" : "MISMATCH",
+                      ok ? "" : ": ", diff.c_str());
         }
       }
     }

@@ -12,8 +12,11 @@
 #include <string>
 
 #include "algorithms/bfs.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/recommend.hpp"
 #include "baselines/named.hpp"
 #include "bench_common.hpp"
+#include "core/auto_executor.hpp"
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
@@ -25,15 +28,28 @@ using namespace aam;
 double run_one(const model::MachineConfig& config, model::HtmKind kind,
                int threads, int batch, const graph::Graph& g,
                graph::Vertex root, std::uint64_t seed,
-               core::Mechanism mechanism, const check::CheckConfig& check_cfg) {
+               core::MechanismSelection selection,
+               const check::CheckConfig& check_cfg) {
   const std::size_t heap_bytes =
       static_cast<std::size_t>(g.num_vertices()) * 8 + (1u << 22);
   mem::SimHeap heap(heap_bytes);
   htm::DesMachine machine(config, kind, threads, heap, seed);
   bench::ScopedChecker scoped(machine, check_cfg);
+  // The auto policy probes the concrete input graph (degree, skew) the
+  // sweep cell is about to run.
+  core::AutoPolicy policy;
   algorithms::BfsOptions options;
   options.root = root;
-  options.mechanism = mechanism;
+  if (selection.is_auto()) {
+    policy = analysis::make_auto_policy(
+        config, kind, analysis::workload_from_graph(g, threads, batch));
+    options.auto_policy = &policy;
+    if (scoped.checker() != nullptr) {
+      scoped.checker()->set_capacity_policy(&policy);
+    }
+  } else {
+    options.mechanism = *selection.fixed;
+  }
   options.batch = batch;
   options.decorator = scoped.decorator();
   const auto r = algorithms::run_bfs(machine, g, options);
@@ -57,8 +73,8 @@ int main(int argc, char** argv) {
   const int has_batch = static_cast<int>(cli.get_int("has-batch", 2));
   // Which mechanism plays the "AAM" role against the Graph500 atomics
   // baseline (default: coarse HTM, the paper's configuration).
-  const core::Mechanism mechanism =
-      core::mechanism_flag(cli, "mechanism", core::Mechanism::kHtmCoarsened);
+  const core::MechanismSelection selection =
+      core::mechanism_selection_flag(cli, "mechanism", "htm");
   const check::CheckConfig check_cfg = check::check_flag(cli);
   cli.check_unknown();
 
@@ -79,8 +95,10 @@ int main(int argc, char** argv) {
   };
 
   for (const MachineRun& mr : machines) {
-    const std::string contender = std::string(core::to_string(mechanism)) +
-                                  " (M=" + std::to_string(mr.batch) + ")";
+    const std::string contender =
+        std::string(selection.is_auto() ? "auto"
+                                        : core::to_string(*selection.fixed)) +
+        " (M=" + std::to_string(mr.batch) + ")";
     util::Table table({"|V|", "edge factor", "measured d", "Graph500",
                        contender, "speedup"});
     for (std::int64_t scale : scales) {
@@ -92,12 +110,12 @@ int main(int argc, char** argv) {
         params.edge_factor = std::max<int>(1, static_cast<int>(d / 2));
         const graph::Graph g = graph::kronecker(params, rng);
         const graph::Vertex root = graph::pick_nonisolated_vertex(g);
-        const double base =
-            run_one(*mr.config, mr.kind, mr.threads, mr.batch, g, root,
-                    seed, core::Mechanism::kAtomicOps, check_cfg);
+        const double base = run_one(
+            *mr.config, mr.kind, mr.threads, mr.batch, g, root, seed,
+            {.fixed = core::Mechanism::kAtomicOps}, check_cfg);
         const double aam =
             run_one(*mr.config, mr.kind, mr.threads, mr.batch, g, root,
-                    seed, mechanism, check_cfg);
+                    seed, selection, check_cfg);
         table.row().cell("2^" + std::to_string(scale))
             .cell(std::uint64_t(params.edge_factor))
             .cell(g.avg_degree(), 1)

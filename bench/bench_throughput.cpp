@@ -7,8 +7,14 @@
 // afford. Element counts are deterministic properties of the run (edges
 // scanned, relaxations, ...), so elements/sec moves only with host-side
 // cost per access: exactly the executor/footprint hot path this metric
-// exists to track. Output is JSON (schema aam-bench-wallclock-v2) so CI
+// exists to track. Output is JSON (schema aam-bench-wallclock-v3) so CI
 // can diff runs; tools/bench_record.sh wraps this into BENCH_wallclock.json.
+//
+// Besides the fixed mechanisms, every algorithm also runs one
+// --mechanism=auto row: the static recommendation table
+// (analysis::make_auto_policy) routes each operator's batches, and the
+// row reports the auto executor's validation counters (prediction_miss,
+// descents, capacity_clamps) next to the usual throughput numbers.
 //
 // --fault=<spec> threads deterministic fault injection (aam::fault) into
 // every run, so CI can compare the simulator's host throughput with and
@@ -29,7 +35,10 @@
 #include "algorithms/pagerank_dist.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/st_connectivity.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/recommend.hpp"
 #include "bench_common.hpp"
+#include "core/auto_executor.hpp"
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
@@ -48,10 +57,11 @@ struct RunOutcome {
 
 struct Algo {
   std::string name;
+  bool weighted = false;  ///< runs on wg (workload probe must match)
   RunOutcome (*run)(htm::DesMachine&, const graph::Graph& g,
                     const graph::Graph& wg, graph::Vertex root,
                     graph::Vertex st_t, core::Mechanism, int batch,
-                    std::uint64_t seed);
+                    std::uint64_t seed, const core::AutoPolicy* policy);
 };
 
 graph::Vertex second_endpoint(const graph::Graph& g, graph::Vertex s) {
@@ -62,72 +72,78 @@ graph::Vertex second_endpoint(const graph::Graph& g, graph::Vertex s) {
 }
 
 const std::vector<Algo> kAlgos = {
-    {"bfs",
+    {"bfs", false,
      [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
         graph::Vertex root, graph::Vertex, core::Mechanism mech, int batch,
-        std::uint64_t) {
+        std::uint64_t, const core::AutoPolicy* policy) {
        algorithms::BfsOptions o;
        o.root = root;
        o.mechanism = mech;
        o.batch = batch;
+       o.auto_policy = policy;
        const auto r = algorithms::run_bfs(m, g, o);
        return RunOutcome{r.edges_scanned, r.total_time_ns, r.stats};
      }},
-    {"pagerank",
+    {"pagerank", false,
      [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
         graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
-        std::uint64_t) {
+        std::uint64_t, const core::AutoPolicy* policy) {
        algorithms::PageRankOptions o;
        o.iterations = 3;
        o.mechanism = mech;
        o.batch = batch;
+       o.auto_policy = policy;
        const auto r = algorithms::run_pagerank(m, g, o);
        const std::uint64_t pushes = static_cast<std::uint64_t>(o.iterations) *
                                     (g.num_edges() + g.num_vertices());
        return RunOutcome{pushes, r.total_time_ns, r.stats};
      }},
-    {"sssp",
+    {"sssp", true,
      [](htm::DesMachine& m, const graph::Graph&, const graph::Graph& wg,
         graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
-        std::uint64_t) {
+        std::uint64_t, const core::AutoPolicy* policy) {
        algorithms::SsspOptions o;
        o.source = 0;
        o.mechanism = mech;
        o.batch = batch;
+       o.auto_policy = policy;
        const auto r = algorithms::run_sssp(m, wg, o);
        return RunOutcome{r.relaxations, r.total_time_ns, r.stats};
      }},
-    {"coloring",
+    {"coloring", false,
      [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
         graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
-        std::uint64_t seed) {
+        std::uint64_t seed, const core::AutoPolicy* policy) {
        algorithms::ColoringOptions o;
        o.mechanism = mech;
        o.batch = batch;
        o.seed = seed;
+       o.auto_policy = policy;
        const auto r = algorithms::run_boman_coloring(m, g, o);
        return RunOutcome{g.num_vertices() + r.recolor_requests,
                          r.total_time_ns, r.stats};
      }},
-    {"st-conn",
+    {"st-conn", false,
      [](htm::DesMachine& m, const graph::Graph& g, const graph::Graph&,
         graph::Vertex root, graph::Vertex st_t, core::Mechanism mech,
-        int batch, std::uint64_t) {
+        int batch, std::uint64_t, const core::AutoPolicy* policy) {
        algorithms::StConnOptions o;
        o.s = root;
        o.t = st_t;
        o.mechanism = mech;
        o.batch = batch;
+       o.auto_policy = policy;
        const auto r = algorithms::run_st_connectivity(m, g, o);
        return RunOutcome{r.vertices_colored, r.total_time_ns, r.stats};
      }},
-    {"boruvka",
+    {"boruvka", true,
      [](htm::DesMachine& m, const graph::Graph&, const graph::Graph& wg,
         graph::Vertex, graph::Vertex, core::Mechanism mech, int batch,
-        std::uint64_t) {
+        std::uint64_t, const core::AutoPolicy* policy) {
        algorithms::BoruvkaOptions o;
        o.mechanism = mech;
        o.batch = batch;
+       o.auto_policy = policy;
        const auto r = algorithms::run_boruvka(m, wg, o);
        return RunOutcome{r.edges_in_forest, r.total_time_ns, r.stats};
      }},
@@ -154,6 +170,7 @@ int main(int argc, char** argv) {
   for (const auto m : core::all_mechanisms()) {
     mech_choices.push_back(core::to_string(m));
   }
+  mech_choices.push_back("auto");
   const std::string only_mech =
       cli.get_choice("mechanism", "all", mech_choices);
   const std::string json_path = cli.get_string("json", "");
@@ -190,8 +207,15 @@ int main(int argc, char** argv) {
       (std::size_t{1} << 20) * 16 +
       static_cast<std::size_t>(g.num_vertices()) * 64;
 
+  // Static routing tables for the --mechanism=auto rows, one per input
+  // graph (the conflict model conditions on the workload it will run on).
+  const core::AutoPolicy policy_g = analysis::make_auto_policy(
+      config, kind, analysis::workload_from_graph(g, threads, batch));
+  const core::AutoPolicy policy_wg = analysis::make_auto_policy(
+      config, kind, analysis::workload_from_graph(wg, threads, batch));
+
   std::string json = "{\n";
-  json += "  \"schema\": \"aam-bench-wallclock-v2\",\n";
+  json += "  \"schema\": \"aam-bench-wallclock-v3\",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
   json += "  \"edge_factor\": " + std::to_string(edge_factor) + ",\n";
   json += "  \"machine\": \"" + config.name + "\",\n";
@@ -204,39 +228,62 @@ int main(int argc, char** argv) {
   bool first = true;
   std::printf("%-10s %-12s %14s %12s %14s\n", "algorithm", "mechanism",
               "elements", "wall ms", "elems/sec");
+  struct Selection {
+    std::string label;
+    core::Mechanism mech = core::Mechanism::kHtmCoarsened;
+    bool is_auto = false;
+  };
+  std::vector<Selection> selections;
+  for (const core::Mechanism mech : core::all_mechanisms()) {
+    if (only_mech == "all" || only_mech == core::to_string(mech)) {
+      selections.push_back({core::to_string(mech), mech, false});
+    }
+  }
+  if (only_mech == "all" || only_mech == "auto") {
+    selections.push_back({"auto", core::Mechanism::kHtmCoarsened, true});
+  }
+
   for (const Algo& algo : kAlgos) {
     if (algo_filter != "all" && algo_filter != algo.name) continue;
-    for (const core::Mechanism mech : core::all_mechanisms()) {
-      if (only_mech != "all" && only_mech != core::to_string(mech)) continue;
+    const core::AutoPolicy& policy = algo.weighted ? policy_wg : policy_g;
+    for (const Selection& sel : selections) {
       double best_seconds = 0;
       RunOutcome out;
       for (int rep = 0; rep < repeats; ++rep) {
+        policy.telemetry = {};
         mem::SimHeap heap(heap_bytes);
         htm::DesMachine machine(config, kind, threads, heap, seed);
         bench::ScopedFault fault(machine, fault_spec, seed);
         const auto t0 = Clock::now();
-        out = algo.run(machine, g, wg, root, st_t, mech, batch, seed);
+        out = algo.run(machine, g, wg, root, st_t, sel.mech, batch, seed,
+                       sel.is_auto ? &policy : nullptr);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
         if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
       }
+      const core::AutoTelemetry tele =
+          sel.is_auto ? policy.telemetry : core::AutoTelemetry{};
       const double rate =
           best_seconds > 0 ? static_cast<double>(out.elements) / best_seconds
                            : 0;
       std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", algo.name.c_str(),
-                  core::to_string(mech),
+                  sel.label.c_str(),
                   static_cast<unsigned long long>(out.elements),
                   best_seconds * 1e3, rate);
       if (!first) json += ",\n";
       first = false;
       json += "    {\"algorithm\": \"" + algo.name + "\", \"mechanism\": \"" +
-              core::to_string(mech) + "\", \"elements\": " +
+              sel.label + "\", \"elements\": " +
               std::to_string(out.elements) + ", \"wall_seconds\": " +
               json_escape_double(best_seconds) + ", \"elements_per_sec\": " +
               json_escape_double(rate) + ", \"sim_time_ns\": " +
               json_escape_double(out.sim_time_ns) + ", \"commits\": " +
               std::to_string(out.stats.committed) + ", \"aborts\": " +
-              std::to_string(out.stats.total_aborts()) + "}";
+              std::to_string(out.stats.total_aborts()) +
+              ", \"prediction_miss\": " + std::to_string(tele.prediction_miss) +
+              ", \"descents\": " + std::to_string(tele.descents) +
+              ", \"capacity_clamps\": " + std::to_string(tele.capacity_clamps) +
+              "}";
     }
   }
 
@@ -277,7 +324,9 @@ int main(int argc, char** argv) {
             ", \"elements_per_sec\": " + json_escape_double(rate) +
             ", \"sim_time_ns\": " + json_escape_double(r.total_time_ns) +
             ", \"commits\": " + std::to_string(r.stats.committed) +
-            ", \"aborts\": " + std::to_string(r.stats.total_aborts()) + "}";
+            ", \"aborts\": " + std::to_string(r.stats.total_aborts()) +
+            ", \"prediction_miss\": 0, \"descents\": 0"
+            ", \"capacity_clamps\": 0}";
   }
   json += "\n  ]\n}\n";
 

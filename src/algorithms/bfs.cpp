@@ -161,7 +161,8 @@ BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
   state.parent = machine.heap().alloc<Vertex>(n, "bfs.parent");
   auto executor = core::make_executor(
       options.mechanism, machine,
-      {.batch = options.batch, .decorator = options.decorator});
+      {.batch = options.batch, .decorator = options.decorator,
+       .auto_policy = options.auto_policy});
   state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;

@@ -30,6 +30,10 @@ struct BfsOptions {
   double barrier_cost_ns = 400.0;  ///< per-level synchronization cost
   /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
   core::ExecutorDecorator* decorator = nullptr;
+  /// --mechanism=auto routing table (see core/auto_executor.hpp); when set,
+  /// `mechanism` is ignored and batches route per the policy. Must outlive
+  /// the run.
+  const core::AutoPolicy* auto_policy = nullptr;
 };
 
 struct BfsResult {

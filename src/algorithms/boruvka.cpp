@@ -153,7 +153,8 @@ BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
   for (Vertex v = 0; v < n; ++v) state.parent[v] = v;
   auto executor = core::make_executor(
       options.mechanism, machine,
-      {.batch = options.batch, .decorator = options.decorator});
+      {.batch = options.batch, .decorator = options.decorator,
+       .auto_policy = options.auto_policy});
   state.executor = executor.get();
   core::ChunkCursor scan_cursor(machine.heap());
   core::ChunkCursor merge_cursor(machine.heap());

@@ -134,7 +134,8 @@ ColoringResult run_boman_coloring(htm::DesMachine& machine,
   state.color = machine.heap().alloc<std::uint32_t>(n, "coloring.color");
   auto executor = core::make_executor(
       options.mechanism, machine,
-      {.batch = options.batch, .decorator = options.decorator});
+      {.batch = options.batch, .decorator = options.decorator,
+       .auto_policy = options.auto_policy});
   state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;

@@ -28,6 +28,10 @@ struct ColoringOptions {
   int max_rounds = 256;  ///< safety bound; the heuristic converges long before
   /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
   core::ExecutorDecorator* decorator = nullptr;
+  /// --mechanism=auto routing table (see core/auto_executor.hpp); when set,
+  /// `mechanism` is ignored and batches route per the policy. Must outlive
+  /// the run.
+  const core::AutoPolicy* auto_policy = nullptr;
 };
 
 struct ColoringResult {

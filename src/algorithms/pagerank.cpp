@@ -21,7 +21,8 @@ PageRankResult run_pagerank(htm::DesMachine& machine,
   machine.reset_clocks(0.0, /*clear_stats=*/true);
   core::AamRuntime runtime(machine, {.batch = options.batch,
                                      .mechanism = options.mechanism,
-                                     .decorator = options.decorator});
+                                     .decorator = options.decorator,
+                                     .auto_policy = options.auto_policy});
 
   const double d = options.damping;
   const double base = (1.0 - d) / static_cast<double>(n);

@@ -127,7 +127,8 @@ SsspResult run_sssp(htm::DesMachine& machine, const graph::Graph& graph,
   state.frontier = {options.source};
   auto executor = core::make_executor(
       options.mechanism, machine,
-      {.batch = options.batch, .decorator = options.decorator});
+      {.batch = options.batch, .decorator = options.decorator,
+       .auto_policy = options.auto_policy});
   state.executor = executor.get();
   core::ChunkCursor cursor(machine.heap());
   state.cursor = &cursor;

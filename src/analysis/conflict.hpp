@@ -1,0 +1,102 @@
+#pragma once
+
+// Static contention signatures: the conflict half of the mechanism
+// prediction (the capacity half lives in capacity.hpp).
+//
+// From an operator's effect signature — distinct elements read and written
+// per invocation, split by index class — plus a handful of workload
+// parameters (vertex count, mean degree, chain bound, degree skew, thread
+// count, coarsening factor M), derive a closed-form pairwise conflict
+// probability between two concurrently running activities. The model is a
+// birthday bound over the write footprint:
+//
+//   * every index class maps to a draw distribution over the element
+//     universe: kSelf indices are the operator's own work item, effectively
+//     uniform over the universe; kPeer/kNeighbor/kChain indices follow the
+//     graph's degree distribution, so on skewed graphs they concentrate on
+//     hub vertices. Concentration is summarized by a single multiplier
+//     kappa >= 1 on the per-pair collision probability (kappa = 1 recovers
+//     the uniform birthday bound).
+//   * the universe is measured in conflict-detection units, not elements:
+//     a machine that tracks conflicts per 64-byte line (Haswell) sees an
+//     8x smaller universe over packed 8-byte elements than one that
+//     versions at 8-byte grain (BG/Q L2 TM) — false sharing is part of the
+//     prediction, per §5.5.1.
+//
+// With lambda = expected overlapping (write, any) element pairs between
+// two activities, the pairwise conflict probability is 1 - exp(-lambda)
+// and the per-attempt abort probability against T-1 concurrent peers is
+// 1 - (1 - p_pair)^(T-1). The independence assumptions (attempts
+// independent, peers independent, maximal concurrency) make the bound an
+// upper estimate; DESIGN.md §9 spells out the caveats, and the auto
+// executor validates the prediction against live TxnOutcome telemetry.
+
+#include <cstdint>
+
+#include "analysis/signature.hpp"
+#include "graph/csr.hpp"
+#include "model/machines.hpp"
+
+namespace aam::analysis {
+
+/// Workload parameters the conflict model conditions on. Probed from a
+/// concrete graph (workload_from_graph) or a deterministic Kronecker
+/// generation at a given scale (workload_for_scale).
+struct Workload {
+  int scale = 16;                      ///< log2 of the vertex count
+  std::uint64_t vertices = 1ull << 16; ///< element-universe size per region
+  double mean_degree = 16.0;           ///< expected neighbor-class fanout
+  int chain = 8;                       ///< chain-class bound (union-find paths)
+  double skew = 0.0;                   ///< graph::DegreeStats::top1pct_edge_share
+  int threads = 0;                     ///< concurrent threads (0 = machine max)
+  int batch = 16;                      ///< M: operators per coarse activity
+};
+
+/// Probes `g` for the model inputs (vertex count, mean degree, skew).
+Workload workload_from_graph(const graph::Graph& g, int threads, int batch);
+
+/// Deterministic Kronecker probe (seed 1, matching the bench harnesses):
+/// generates the scale/edge_factor graph and measures it.
+Workload workload_for_scale(int scale, int edge_factor, int threads,
+                            int batch);
+
+/// Collision-probability multiplier for skew-class (degree-distributed)
+/// index draws, from the top-1%-edge-share statistic s: a two-point
+/// mixture where mass s concentrates on the top 1% of vertices and the
+/// rest spreads over the remaining 99%. kappa = 100 s^2 + (1-s)^2 / 0.99;
+/// 1.01 at s = 0 (uniform) and 100 at s = 1 (all edges on the hubs).
+double skew_multiplier(double top1pct_edge_share);
+
+/// Expected overlapping (write, read-or-write) element pairs between two
+/// concurrent activities with identical per-class footprints. Uniform-
+/// class draws collide at 1/universe_units per pair; a pair of skew-class
+/// draws at skew_mult/universe_units; mixed pairs at 1/universe_units
+/// (the uniform side randomizes the pair regardless of the other draw).
+double expected_overlap(double uniform_writes, double uniform_reads,
+                        double skewed_writes, double skewed_reads,
+                        double universe_units, double skew_mult);
+
+/// The static contention signature of one operator under one workload on
+/// one machine: per-activity footprints split uniform/skewed, the
+/// granularity-adjusted universe, and the derived probabilities.
+struct ContentionSignature {
+  core::OperatorId op = core::OperatorId::kUnknown;
+  double uniform_reads = 0;   ///< per activity (M operators), kSelf class
+  double uniform_writes = 0;
+  double skewed_reads = 0;    ///< kPeer + kNeighbor + kChain classes
+  double skewed_writes = 0;
+  double universe_units = 1;  ///< region elements in conflict-detection units
+  double skew_mult = 1;       ///< kappa
+  double pair_overlap = 0;    ///< lambda: expected conflicting element pairs
+  double conflict_prob = 0;   ///< p_pair = 1 - exp(-lambda)
+  double abort_prob = 0;      ///< per attempt vs T-1 peers
+};
+
+/// Evaluates the model for one operator signature. The HTM kind supplies
+/// the conflict-detection granularity; threads <= 0 in the workload means
+/// machine.max_threads().
+ContentionSignature contention(const EffectSignature& sig, const Workload& w,
+                               const model::MachineConfig& machine,
+                               model::HtmKind kind);
+
+}  // namespace aam::analysis

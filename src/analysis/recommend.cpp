@@ -1,0 +1,400 @@
+#include "analysis/recommend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace aam::analysis {
+
+namespace {
+
+/// Per-operator footprint split the cost formulas consume (the contention
+/// signature stores per-activity counts; these are per single operator).
+struct OpFootprint {
+  double uniform_reads = 0;
+  double uniform_writes = 0;
+  double skewed_reads = 0;
+  double skewed_writes = 0;
+  double reads() const { return uniform_reads + skewed_reads; }
+  double writes() const { return uniform_writes + skewed_writes; }
+};
+
+/// Probability that one more write to a class-`q` element collides with
+/// any of the T-1 peers' concurrent writes to the same class: the
+/// serialize-vs-parallelize coin every guarded update flips.
+double write_contention(double peer_writes_per_op, int threads, double q) {
+  const double peers = static_cast<double>(std::max(0, threads - 1));
+  return 1.0 - std::exp(-peers * peer_writes_per_op * q);
+}
+
+struct CostInputs {
+  const model::MachineConfig* machine = nullptr;
+  const model::HtmCosts* htm = nullptr;
+  OpFootprint fp;
+  double p_uniform = 0;  ///< uniform-class write contention
+  double p_skewed = 0;   ///< skew-class write contention
+  int threads = 1;
+  int batch = 1;
+  double claim_ns = 0;   ///< work-claim fetch_add amortized over the batch
+};
+
+/// Guarded-update cost: the atomic-unit gap plus a critical section of
+/// `section_ns` that fully serializes with probability p and runs in
+/// parallel (1/T) otherwise.
+double guarded_write(const CostInputs& in, double count, double p,
+                     double section_ns) {
+  const double t = static_cast<double>(in.threads);
+  return count * (in.machine->atomics.global_gap_ns +
+                  section_ns * (p + (1.0 - p) / t));
+}
+
+/// Scatter-update cost for skew-class writes (updates into shared
+/// hub/neighbor elements). On machines with a shared atomic unit
+/// (global_gap_ns > 0 — BG/Q's L2), *dense* scatters do not parallelize
+/// even when the measured conflict probability is low: each shared-line
+/// touch synchronizes the toucher with the furthest-ahead owner, and an
+/// operator whose write count scales with degree touches enough shared
+/// lines per invocation that thread clocks couple into a near-serial
+/// schedule (measured on the DES: PageRank's push phase — d ≈ 16 scatter
+/// writes/op — gains only ~1.2x from T=1 to T=64 under atomics, while
+/// union-find's constant 2 shared writes/op keep scaling). The density
+/// threshold splits those two regimes with margin on both sides; sparse
+/// scatters and private-cache machines keep the contention-weighted
+/// parallel term.
+constexpr double kScatterSerialDensity = 4.0;  // shared writes per operator
+
+double scatter_write(const CostInputs& in, double count, double p,
+                     double section_ns) {
+  if (in.machine->atomics.global_gap_ns > 0 &&
+      count > kScatterSerialDensity) {
+    return count * (in.machine->atomics.global_gap_ns + section_ns);
+  }
+  return guarded_write(in, count, p, section_ns);
+}
+
+double cost_serial_lock(const CostInputs& in) {
+  const model::AtomicCosts& a = in.machine->atomics;
+  return in.fp.reads() * a.load_ns + in.fp.writes() * a.store_ns +
+         a.cas_ns / static_cast<double>(in.batch) + in.claim_ns;
+}
+
+double cost_atomics(const CostInputs& in) {
+  const model::AtomicCosts& a = in.machine->atomics;
+  const double t = static_cast<double>(in.threads);
+  // Self-class writes follow the claim/CAS pattern; skew-class writes are
+  // accumulates on shared (hub) elements.
+  return in.fp.reads() * a.load_ns / t +
+         guarded_write(in, in.fp.uniform_writes, in.p_uniform, a.cas_ns) +
+         scatter_write(in, in.fp.skewed_writes, in.p_skewed, a.acc_ns) +
+         in.claim_ns;
+}
+
+double cost_fine_locks(const CostInputs& in) {
+  const model::AtomicCosts& a = in.machine->atomics;
+  const double t = static_cast<double>(in.threads);
+  const double section = a.cas_ns + 2.0 * a.store_ns;  // acquire + release
+  return in.fp.reads() * a.load_ns / t +
+         guarded_write(in, in.fp.uniform_writes, in.p_uniform, section) +
+         scatter_write(in, in.fp.skewed_writes, in.p_skewed, section) +
+         in.claim_ns;
+}
+
+double cost_stm(const CostInputs& in) {
+  const model::AtomicCosts& a = in.machine->atomics;
+  const double t = static_cast<double>(in.threads);
+  // TL2 bookkeeping (executor_impl.hpp): 7 load-equivalents per read
+  // (3 loads + 4x bookkeeping), 5 per buffered write; commit replays an
+  // orec CAS + write-back + release per write and touches the global
+  // version clock once per batch.
+  const double bookkeeping =
+      (7.0 * in.fp.reads() + 5.0 * in.fp.writes()) * a.load_ns / t;
+  const double commit_section = a.cas_ns + 2.0 * a.store_ns;
+  const double clock_ns =
+      (a.load_ns + a.cas_ns) / static_cast<double>(in.batch);
+  return bookkeeping +
+         guarded_write(in, in.fp.uniform_writes, in.p_uniform,
+                       commit_section) +
+         scatter_write(in, in.fp.skewed_writes, in.p_skewed, commit_section) +
+         clock_ns + in.claim_ns;
+}
+
+double cost_htm(const CostInputs& in, double abort_prob, bool capacity_unsafe,
+                double& attempts_out, double& p_serial_out) {
+  const model::AtomicCosts& a = in.machine->atomics;
+  const model::HtmCosts& h = *in.htm;
+  const double t = static_cast<double>(in.threads);
+  const double m = static_cast<double>(in.batch);
+  const int max_retries = std::max(1, h.max_retries);
+  double p = abort_prob;
+  if (capacity_unsafe) p = 1.0;  // every attempt can overflow
+  // Expected attempts per committed activity under per-attempt abort
+  // probability p, capped by the retry policy; past the cap the activity
+  // serializes on the fallback lock.
+  const double attempts =
+      p >= 1.0 ? static_cast<double>(max_retries)
+               : std::min(1.0 / (1.0 - p), static_cast<double>(max_retries));
+  const double p_serial =
+      capacity_unsafe ? 1.0 : std::pow(p, static_cast<double>(max_retries));
+  attempts_out = attempts;
+  p_serial_out = p_serial;
+  const double per_op_work = in.fp.reads() * (h.read_ns + a.load_ns) +
+                             in.fp.writes() * (h.write_ns + a.store_ns);
+  const double speculative =
+      (attempts * (h.begin_ns + h.commit_ns) / m + attempts * per_op_work +
+       (attempts - 1.0) * h.abort_ns / m) /
+      t;
+  // The hybrid fallback penalty: a serialized activity holds the global
+  // lock, so its work stops parallelizing — charged at full cost.
+  const double fallback =
+      p_serial * (h.serialize_acquire_ns / m + in.fp.reads() * a.load_ns +
+                  in.fp.writes() * a.store_ns);
+  return speculative + fallback + in.claim_ns;
+}
+
+const CapacityBound* find_bound(const std::vector<CapacityBound>& bounds,
+                                const std::string& machine,
+                                model::HtmKind kind, core::OperatorId op) {
+  for (const CapacityBound& b : bounds) {
+    if (b.machine == machine && b.kind == kind && b.op == op) return &b;
+  }
+  return nullptr;
+}
+
+Recommendation recommend_one(const model::MachineConfig& machine,
+                             model::HtmKind kind, const EffectSignature& sig,
+                             const std::vector<CapacityBound>& bounds,
+                             const Workload& workload) {
+  Recommendation rec;
+  rec.machine = machine.name;
+  rec.kind = kind;
+  rec.threads =
+      workload.threads > 0 ? workload.threads : machine.max_threads();
+  rec.op = sig.op;
+
+  Workload w = workload;
+  w.threads = rec.threads;
+  rec.contention = contention(sig, w, machine, kind);
+
+  CostInputs in;
+  in.machine = &machine;
+  in.htm = &machine.htm(kind);
+  in.threads = rec.threads;
+  in.batch = std::max(1, w.batch);
+  const double m = static_cast<double>(in.batch);
+  in.fp.uniform_reads = rec.contention.uniform_reads / m;
+  in.fp.uniform_writes = rec.contention.uniform_writes / m;
+  in.fp.skewed_reads = rec.contention.skewed_reads / m;
+  in.fp.skewed_writes = rec.contention.skewed_writes / m;
+  in.p_uniform = write_contention(in.fp.uniform_writes, in.threads,
+                                  1.0 / rec.contention.universe_units);
+  in.p_skewed = write_contention(
+      in.fp.skewed_writes, in.threads,
+      rec.contention.skew_mult / rec.contention.universe_units);
+  in.claim_ns = machine.atomics.cas_ns / m;
+
+  const CapacityBound* bound =
+      find_bound(bounds, machine.name, kind, sig.op);
+  AAM_CHECK_MSG(bound != nullptr, "capacity bound missing for operator");
+  const bool unbounded = bound->max_safe_coarsening == ~std::uint64_t{0};
+  rec.htm_c_safe = unbounded ? 0 : bound->max_safe_coarsening;
+  const bool capacity_unsafe =
+      !unbounded &&
+      static_cast<std::uint64_t>(in.batch) > bound->max_safe_coarsening;
+
+  double attempts = 1.0;
+  double p_serial = 0.0;
+  const double htm_cost = cost_htm(in, rec.contention.abort_prob,
+                                   capacity_unsafe, attempts, p_serial);
+  rec.predicted_aborts = attempts - 1.0;
+  rec.abort_band = std::max(3.0 * rec.predicted_aborts, 1.0);
+
+  rec.ranked = {
+      {core::Mechanism::kHtmCoarsened, htm_cost, capacity_unsafe},
+      {core::Mechanism::kAtomicOps, cost_atomics(in), false},
+      {core::Mechanism::kFineLocks, cost_fine_locks(in), false},
+      {core::Mechanism::kSerialLock, cost_serial_lock(in), false},
+      {core::Mechanism::kStm, cost_stm(in), false},
+  };
+  std::stable_sort(rec.ranked.begin(), rec.ranked.end(),
+                   [](const MechanismCost& a, const MechanismCost& b) {
+                     return a.cost_ns < b.cost_ns;
+                   });
+  return rec;
+}
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string workload_line(const Workload& w) {
+  std::string s = "scale=" + std::to_string(w.scale) +
+                  " vertices=" + std::to_string(w.vertices) +
+                  " degree=" + fmt(w.mean_degree) +
+                  " chain=" + std::to_string(w.chain) +
+                  " skew=" + fmt(w.skew) +
+                  " batch=" + std::to_string(w.batch);
+  if (w.threads > 0) s += " threads=" + std::to_string(w.threads);
+  return s;
+}
+
+std::string ranked_string(const Recommendation& rec, const char* sep) {
+  std::string s;
+  for (const MechanismCost& mc : rec.ranked) {
+    if (!s.empty()) s += sep;
+    s += core::to_string(mc.mechanism);
+    s += ":";
+    s += fmt(mc.cost_ns);
+    if (mc.capacity_unsafe) s += "!cap";
+  }
+  return s;
+}
+
+}  // namespace
+
+double Recommendation::cost_of(core::Mechanism mechanism) const {
+  for (const MechanismCost& mc : ranked) {
+    if (mc.mechanism == mechanism) return mc.cost_ns;
+  }
+  return 0;
+}
+
+std::vector<Recommendation> recommend_for(
+    const model::MachineConfig& machine, model::HtmKind kind,
+    const std::vector<EffectSignature>& signatures,
+    const std::vector<CapacityBound>& bounds, const Workload& workload) {
+  std::vector<Recommendation> recs;
+  recs.reserve(signatures.size());
+  for (const EffectSignature& sig : signatures) {
+    recs.push_back(recommend_one(machine, kind, sig, bounds, workload));
+  }
+  return recs;
+}
+
+std::vector<Recommendation> recommend(
+    const std::vector<EffectSignature>& signatures,
+    const std::vector<CapacityBound>& bounds, const Workload& workload) {
+  std::vector<Recommendation> recs;
+  const model::MachineConfig* machines[] = {&model::bgq(), &model::has_c(),
+                                            &model::has_p()};
+  for (const model::MachineConfig* machine : machines) {
+    for (model::HtmKind kind : machine->supported_htm) {
+      for (Recommendation& rec :
+           recommend_for(*machine, kind, signatures, bounds, workload)) {
+        recs.push_back(std::move(rec));
+      }
+    }
+  }
+  return recs;
+}
+
+core::AutoPolicy make_auto_policy(const model::MachineConfig& machine,
+                                  model::HtmKind kind,
+                                  const Workload& workload) {
+  const auto signatures = analyze_all();
+  const int degree =
+      std::max(1, static_cast<int>(std::lround(workload.mean_degree)));
+  const auto bounds = capacity_bounds(signatures, degree, workload.chain);
+  core::AutoPolicy policy;
+  for (const Recommendation& rec :
+       recommend_for(machine, kind, signatures, bounds, workload)) {
+    core::MechanismPlan& plan = policy.plan(rec.op);
+    plan.recommended = rec.best();
+    plan.predicted_aborts = rec.predicted_aborts;
+    plan.abort_band = rec.abort_band;
+    plan.htm_c_safe = rec.htm_c_safe;
+  }
+  return policy;
+}
+
+std::string render_recommend_table(const std::vector<Recommendation>& recs,
+                                   const Workload& workload) {
+  std::string out = "mechanism recommendations (" + workload_line(workload) +
+                    ")\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-6s %-10s %3s %-14s %-12s %8s %8s %s\n",
+                "machine", "kind", "T", "operator", "best", "p_abort",
+                "c_safe", "ranked (ns/op)");
+  out += line;
+  for (const Recommendation& rec : recs) {
+    const std::string c_safe =
+        rec.htm_c_safe == 0 ? "-" : std::to_string(rec.htm_c_safe);
+    std::snprintf(line, sizeof(line), "%-6s %-10s %3d %-14s %-12s %8s %8s %s\n",
+                  rec.machine.c_str(), model::to_string(rec.kind),
+                  rec.threads, core::to_string(rec.op),
+                  core::to_string(rec.best()),
+                  fmt(rec.contention.abort_prob).c_str(), c_safe.c_str(),
+                  ranked_string(rec, " ").c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string render_recommend_json(const std::vector<Recommendation>& recs,
+                                  const Workload& workload) {
+  std::string out = "{\n  \"workload\": {\"scale\": " +
+                    std::to_string(workload.scale) +
+                    ", \"vertices\": " + std::to_string(workload.vertices) +
+                    ", \"degree\": " + fmt(workload.mean_degree) +
+                    ", \"chain\": " + std::to_string(workload.chain) +
+                    ", \"skew\": " + fmt(workload.skew) +
+                    ", \"batch\": " + std::to_string(workload.batch) +
+                    "},\n  \"recommendations\": [\n";
+  bool first = true;
+  for (const Recommendation& rec : recs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"machine\": \"" + rec.machine + "\", \"kind\": \"" +
+           model::to_string(rec.kind) + "\", \"threads\": " +
+           std::to_string(rec.threads) + ", \"operator\": \"" +
+           core::to_string(rec.op) + "\", \"best\": \"" +
+           core::to_string(rec.best()) + "\", \"abort_prob\": " +
+           fmt(rec.contention.abort_prob) + ", \"predicted_aborts\": " +
+           fmt(rec.predicted_aborts) + ", \"abort_band\": " +
+           fmt(rec.abort_band) + ", \"c_safe\": " +
+           std::to_string(rec.htm_c_safe) + ", \"ranked\": [";
+    bool rfirst = true;
+    for (const MechanismCost& mc : rec.ranked) {
+      if (!rfirst) out += ", ";
+      rfirst = false;
+      out += "{\"mechanism\": \"" + std::string(core::to_string(mc.mechanism)) +
+             "\", \"cost_ns\": " + fmt(mc.cost_ns) + ", \"capacity_unsafe\": " +
+             (mc.capacity_unsafe ? "true" : "false") + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}";
+  return out;
+}
+
+std::string render_recommend_golden(const std::vector<Recommendation>& recs,
+                                    const Workload& workload) {
+  std::string out;
+  out +=
+      "# Mechanism recommendation table (static conflict + capacity "
+      "analysis).\n"
+      "# Regenerate deliberately with:\n"
+      "#   ./build/tools/aam_analyze --recommend --write-golden "
+      "tests/golden/recommendations.txt\n"
+      "# and commit the diff with an explanation of the model or operator\n"
+      "# change that moved it.\n";
+  out += "workload " + workload_line(workload) + "\n";
+  for (const Recommendation& rec : recs) {
+    out += "machine=" + rec.machine +
+           " kind=" + model::to_string(rec.kind) +
+           " threads=" + std::to_string(rec.threads) +
+           " op=" + core::to_string(rec.op) +
+           " best=" + core::to_string(rec.best()) +
+           " p_abort=" + fmt(rec.contention.abort_prob) +
+           " aborts=" + fmt(rec.predicted_aborts) +
+           " band=" + fmt(rec.abort_band) +
+           " c_safe=" + std::to_string(rec.htm_c_safe) +
+           " ranked=" + ranked_string(rec, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace aam::analysis

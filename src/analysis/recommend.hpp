@@ -1,0 +1,105 @@
+#pragma once
+
+// Mechanism recommendation table: the intersection of the contention model
+// (conflict.hpp) and the capacity bounds (capacity.hpp), scored per
+// (operator, machine, HTM kind, scale, threads, batch).
+//
+// Each mechanism gets a predicted per-operator cost in simulated
+// nanoseconds, built from the machine's calibrated constants:
+//
+//   serial-lock  R·load + W·store + cas/M — the batch runs under one global
+//                lock, so reads/writes never parallelize; the lock CAS
+//                amortizes over the batch.
+//   atomics      loads parallelize (R·load/T); each guarded write pays the
+//                machine-wide atomic-unit gap plus a CAS/ACC that fully
+//                serializes with probability p_c (the per-class write
+//                contention) and parallelizes otherwise.
+//   fine-locks   like atomics with the striped-lock acquire/release pair
+//                (CAS + 2 stores) as the per-write critical section.
+//   stm          TL2 first-order model: bookkeeping-multiplied loads, the
+//                commit-time orec CAS + write-back + release per write,
+//                and the global version clock shared per batch.
+//   htm          expected attempts from the conflict abort probability
+//                (capped at max_retries), charging begin/commit and the
+//                abort rollback amortized over M, plus the hybrid fallback
+//                penalty: with probability p_abort^max_retries the
+//                activity serializes on the fallback lock and its work no
+//                longer parallelizes — the descent cost hybrid-TM theory
+//                says cannot be avoided (Alistarh et al., "Inherent
+//                Limitations of Hybrid TM"; Brown & Ravi, "On the Cost of
+//                Concurrency in Hybrid TM"). A batch statically exceeding
+//                the capacity bound c_safe is marked capacity-unsafe and
+//                priced at the all-aborts worst case.
+//
+// The scores are intentionally coarse — calibrated against instrumented
+// sweep runs to rank mechanisms, not to predict absolute times (see
+// DESIGN.md §9 for the validation data and the soundness caveats). The
+// table feeds three consumers: aam_analyze --recommend (human/CI view),
+// tests/golden/recommendations.txt (drift gate), and make_auto_policy()
+// (the --mechanism=auto executor's routing table).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/capacity.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/signature.hpp"
+#include "core/auto_executor.hpp"
+#include "model/machines.hpp"
+
+namespace aam::analysis {
+
+struct MechanismCost {
+  core::Mechanism mechanism = core::Mechanism::kSerialLock;
+  double cost_ns = 0;           ///< predicted per-operator cost
+  bool capacity_unsafe = false; ///< htm only: batch exceeds c_safe
+};
+
+/// One (operator, machine, kind) cell of the table.
+struct Recommendation {
+  std::string machine;  ///< model::MachineConfig::name
+  model::HtmKind kind = model::HtmKind::kRtm;
+  int threads = 0;      ///< resolved thread count the scores assume
+  core::OperatorId op = core::OperatorId::kUnknown;
+  ContentionSignature contention;
+  double predicted_aborts = 0;  ///< expected HTM aborts per activity
+  double abort_band = 0;        ///< tolerated observed aborts per activity
+  std::uint64_t htm_c_safe = 0; ///< capacity bound at this batch (0 = none)
+  std::vector<MechanismCost> ranked;  ///< ascending predicted cost
+
+  core::Mechanism best() const { return ranked.front().mechanism; }
+  double cost_of(core::Mechanism mechanism) const;
+};
+
+/// Scores every mechanism for every signature on one machine/kind.
+/// `bounds` must come from capacity_bounds() at the workload's degree and
+/// chain. workload.threads <= 0 resolves to machine.max_threads().
+std::vector<Recommendation> recommend_for(
+    const model::MachineConfig& machine, model::HtmKind kind,
+    const std::vector<EffectSignature>& signatures,
+    const std::vector<CapacityBound>& bounds, const Workload& workload);
+
+/// The full table: every machine in the model suite x its supported HTM
+/// kinds x every signature (same iteration order as capacity_bounds).
+std::vector<Recommendation> recommend(
+    const std::vector<EffectSignature>& signatures,
+    const std::vector<CapacityBound>& bounds, const Workload& workload);
+
+/// Fills the core-side routing table for one machine/kind: per-operator
+/// recommended mechanism, predicted abort band, and capacity clamp, with
+/// kUnknown left at its robust non-speculative default. Runs the full
+/// static pipeline (analyze_all + capacity_bounds + recommend_for).
+core::AutoPolicy make_auto_policy(const model::MachineConfig& machine,
+                                  model::HtmKind kind,
+                                  const Workload& workload);
+
+/// Renderers, mirroring report.hpp's table/json/golden trio.
+std::string render_recommend_table(const std::vector<Recommendation>& recs,
+                                   const Workload& workload);
+std::string render_recommend_json(const std::vector<Recommendation>& recs,
+                                  const Workload& workload);
+std::string render_recommend_golden(const std::vector<Recommendation>& recs,
+                                    const Workload& workload);
+
+}  // namespace aam::analysis

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "analysis/contract.hpp"
+#include "core/auto_executor.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 
@@ -100,6 +101,7 @@ const char* to_string(Violation::Kind kind) {
     case Violation::Kind::kSerialDivergence: return "serial-divergence";
     case Violation::Kind::kFootprintMismatch: return "footprint-mismatch";
     case Violation::Kind::kStaticEscape: return "static-escape";
+    case Violation::Kind::kCapacityGuard: return "capacity-guard";
   }
   return "?";
 }
@@ -332,6 +334,9 @@ class CheckedExecutor final : public core::ActivityExecutor {
     inner_->set_adaptive(adaptive);
   }
   core::AdaptiveBatch* adaptive() const override { return inner_->adaptive(); }
+  void set_outcome_hook(OutcomeHook hook) override {
+    inner_->set_outcome_hook(std::move(hook));
+  }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
                BatchDone done = {},
@@ -388,6 +393,10 @@ Checker::~Checker() {
   }
 }
 
+void Checker::set_capacity_policy(const core::AutoPolicy* policy) {
+  capacity_policy_ = policy;
+}
+
 std::unique_ptr<core::ActivityExecutor> Checker::wrap(
     std::unique_ptr<core::ActivityExecutor> inner) {
   if (!config_.enabled()) return inner;
@@ -428,6 +437,20 @@ void Checker::on_batch_done(std::uint32_t tid, core::Mechanism mechanism,
                             std::span<const std::uint64_t> results) {
   const std::uint64_t batch_no = batches_++;
   BatchRecord& rec = records_[tid];
+  if (capacity_policy_ != nullptr &&
+      mechanism == core::Mechanism::kHtmCoarsened &&
+      rec.op_id != core::OperatorId::kUnknown) {
+    const core::MechanismPlan& plan = capacity_policy_->plan(rec.op_id);
+    if (plan.htm_c_safe > 0 && count > plan.htm_c_safe) {
+      add_violation(
+          Violation::Kind::kCapacityGuard, batch_no, 0,
+          format("%s batch of %llu items ran under HTM past the static "
+                 "c_safe bound %llu",
+                 core::to_string(rec.op_id),
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(plan.htm_c_safe)));
+    }
+  }
   if (config_.footprint) {
     if (mechanism == core::Mechanism::kHtmCoarsened && count > 0) {
       audit_footprint_for(tid, batch_no);

@@ -88,6 +88,7 @@ struct Violation {
     kSerialDivergence,   ///< batch outcome != serial re-execution outcome
     kFootprintMismatch,  ///< access outside the declared conflict sets
     kStaticEscape,       ///< access outside the operator's static signature
+    kCapacityGuard,      ///< HTM batch larger than the static c_safe bound
   };
   Kind kind;
   std::uint64_t batch = 0;   ///< global batch (activity) sequence number
@@ -121,6 +122,14 @@ class Checker final : public core::ExecutorDecorator,
 
   const CheckConfig& config() const { return config_; }
   htm::DesMachine& machine() { return machine_; }
+
+  /// Arms the capacity-guard audit: every committed HTM batch tagged with
+  /// a known OperatorId whose item count exceeds the policy's static
+  /// c_safe bound becomes a kCapacityGuard violation. Used with
+  /// --mechanism=auto to prove the auto dispatcher never speculates past
+  /// its own capacity analysis (the clamp reroutes such batches). The
+  /// policy must outlive the checker's use.
+  void set_capacity_policy(const core::AutoPolicy* policy);
 
   /// Violations found so far (capped at kMaxStored; the total keeps
   /// counting past the cap).
@@ -236,6 +245,9 @@ class Checker final : public core::ExecutorDecorator,
   // footprint: per-OperatorId maxima (indexed by the enum value; slot 0 =
   // kUnknown stays untouched).
   std::vector<FootprintStats> footprint_stats_;
+
+  // capacity-guard audit (set_capacity_policy); nullptr = audit disarmed.
+  const core::AutoPolicy* capacity_policy_ = nullptr;
 };
 
 }  // namespace aam::check

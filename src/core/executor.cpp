@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/auto_executor.hpp"
 #include "core/executor_impl.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -85,10 +86,46 @@ Mechanism mechanism_flag(util::Cli& cli, const std::string& flag,
   return *parsed;
 }
 
+std::optional<MechanismSelection> parse_mechanism_selection(
+    std::string_view name) {
+  if (name == "auto") return MechanismSelection{};
+  if (const auto fixed = parse_mechanism(name); fixed.has_value()) {
+    return MechanismSelection{.fixed = *fixed};
+  }
+  return std::nullopt;
+}
+
+std::string mechanism_selection_names() { return mechanism_names() + ", auto"; }
+
+std::string mechanism_selection_error(const std::string& flag,
+                                      const std::string& value) {
+  return "--" + flag + "=" + value + ": unknown mechanism; valid names: " +
+         mechanism_selection_names();
+}
+
+MechanismSelection mechanism_selection_flag(util::Cli& cli,
+                                            const std::string& flag,
+                                            const std::string& def) {
+  const std::string value = cli.get_string(flag, def);
+  const auto parsed = parse_mechanism_selection(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "%s\n",
+                 mechanism_selection_error(flag, value).c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
 std::unique_ptr<ActivityExecutor> make_executor(Mechanism mechanism,
                                                 htm::DesMachine& machine,
                                                 const ExecutorOptions& options) {
   AAM_CHECK(options.batch >= 1);
+  if (options.auto_policy != nullptr) {
+    // The decorator is applied to the auto executor's inner rungs (so a
+    // checker observes true mechanisms per batch); the shell stays bare.
+    return std::make_unique<AutoExecutor>(machine, *options.auto_policy,
+                                          options);
+  }
   std::unique_ptr<ActivityExecutor> executor;
   switch (mechanism) {
     case Mechanism::kHtmCoarsened:

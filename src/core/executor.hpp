@@ -95,6 +95,31 @@ std::string mechanism_error(const std::string& flag, const std::string& value);
 Mechanism mechanism_flag(util::Cli& cli, const std::string& flag,
                          Mechanism def);
 
+/// A --mechanism value at a seam that also accepts "auto": either one
+/// fixed mechanism or the policy-driven auto dispatch.
+struct MechanismSelection {
+  std::optional<Mechanism> fixed;  ///< nullopt = auto
+  bool is_auto() const { return !fixed.has_value(); }
+};
+
+/// Parses a mechanism name or "auto"; nullopt for anything else.
+std::optional<MechanismSelection> parse_mechanism_selection(
+    std::string_view name);
+
+/// mechanism_names() plus the "auto" spelling (diagnostics).
+std::string mechanism_selection_names();
+
+/// One-line diagnostic for a bad auto-capable --mechanism value; same
+/// shape as mechanism_error / check_error / fault flag errors.
+std::string mechanism_selection_error(const std::string& flag,
+                                      const std::string& value);
+
+/// Reads `--<flag>=<name>` accepting every mechanism name plus "auto";
+/// exits 2 with mechanism_selection_error() on a bad value.
+MechanismSelection mechanism_selection_flag(util::Cli& cli,
+                                            const std::string& flag,
+                                            const std::string& def);
+
 /// Mechanism-neutral memory access surface handed to operators. Typed
 /// overloads (rather than a word-granular API) so that the atomic
 /// executors never CAS a full 8-byte word when the element is a packed
@@ -200,6 +225,11 @@ class ActivityExecutor {
   /// Fires exactly once per execute() with the committed emissions.
   using BatchDone =
       std::function<void(htm::ThreadCtx&, std::span<const std::uint64_t>)>;
+  /// Host-side observer of per-activity transaction outcomes (HTM executor
+  /// only): the auto-dispatch layer uses it to validate predicted abort
+  /// rates against live telemetry. Never charges simulated cost.
+  using OutcomeHook =
+      std::function<void(htm::ThreadCtx&, const htm::TxnOutcome&)>;
 
   virtual ~ActivityExecutor() = default;
 
@@ -237,11 +267,19 @@ class ActivityExecutor {
   virtual void set_adaptive(AdaptiveBatch* adaptive) { adaptive_ = adaptive; }
   virtual AdaptiveBatch* adaptive() const { return adaptive_; }
 
+  /// Outcome telemetry tap (HtmCoarsened fires it per completed activity,
+  /// after the adaptive controller; other mechanisms never do). Virtual so
+  /// decorating executors can forward to the inner one.
+  virtual void set_outcome_hook(OutcomeHook hook) {
+    outcome_hook_ = std::move(hook);
+  }
+
  protected:
   explicit ActivityExecutor(int batch) : batch_(batch) {}
 
   int batch_;
   AdaptiveBatch* adaptive_ = nullptr;
+  OutcomeHook outcome_hook_;
 };
 
 /// Wraps a freshly built executor in an analysis layer. Implemented by
@@ -255,6 +293,8 @@ class ExecutorDecorator {
       std::unique_ptr<ActivityExecutor> inner) = 0;
 };
 
+struct AutoPolicy;  // core/auto_executor.hpp (plain data filled by analysis::)
+
 struct ExecutorOptions {
   int batch = 16;  ///< M: operators per coarse batch
   /// kFineLocks: entries in the striped per-element lock table (rounded
@@ -262,10 +302,17 @@ struct ExecutorOptions {
   std::uint32_t lock_stripes = 1u << 13;
   /// Optional dynamic-analysis wrapper (see src/check/); nullptr = none.
   ExecutorDecorator* decorator = nullptr;
+  /// --mechanism=auto: when set, make_executor ignores the mechanism
+  /// argument and builds an AutoExecutor routing each batch per the
+  /// policy's recommendation table. The decorator then wraps the *inner*
+  /// fixed executors (one per reachable rung), not the auto shell. The
+  /// policy must outlive the executor.
+  const AutoPolicy* auto_policy = nullptr;
 };
 
 /// Builds the executor for `mechanism` on `machine` (lock tables live on
-/// the machine's heap; the kStm engine is owned by the executor).
+/// the machine's heap; the kStm engine is owned by the executor), or the
+/// auto-dispatching executor when options.auto_policy is set.
 std::unique_ptr<ActivityExecutor> make_executor(
     Mechanism mechanism, htm::DesMachine& machine,
     const ExecutorOptions& options = {});

@@ -387,6 +387,7 @@ class HtmCoarsenedExecutor final : public StagedExecutor {
         [this, &stage, done = std::move(done)](htm::ThreadCtx& done_ctx,
                                                const htm::TxnOutcome& outcome) {
           if (adaptive_ != nullptr) adaptive_->record(outcome);
+          if (outcome_hook_) outcome_hook_(done_ctx, outcome);
           if (done) done(done_ctx, stage);
           stage.clear();
         });

@@ -32,7 +32,8 @@ AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
     : machine_(machine),
       executor_(make_executor(
           options.mechanism, machine,
-          {.batch = options.batch, .decorator = options.decorator})),
+          {.batch = options.batch, .decorator = options.decorator,
+           .auto_policy = options.auto_policy})),
       cursor_(machine.heap()) {
   AAM_CHECK(options.batch >= 1);
   const int threads = machine_.num_threads();

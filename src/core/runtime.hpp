@@ -34,6 +34,9 @@ class AamRuntime {
     Mechanism mechanism = Mechanism::kHtmCoarsened;
     /// Optional dynamic-analysis wrapper (check::Checker); nullptr = none.
     ExecutorDecorator* decorator = nullptr;
+    /// --mechanism=auto routing table (core/auto_executor.hpp); when set,
+    /// `mechanism` is ignored and each batch routes per the policy.
+    const AutoPolicy* auto_policy = nullptr;
   };
 
   /// The single-element operator: modifies graph elements through the

@@ -8,11 +8,18 @@
 //   aam_analyze --write-golden=PATH   regenerate the golden file
 //   aam_analyze --degree=D --chain=C  evaluation parameters for the
 //                                     element-count and capacity columns
+//   aam_analyze --recommend           mechanism recommendation table from
+//                                     the conflict + capacity models, for a
+//                                     workload probed at --scale/--edge-factor
+//                                     with --threads/--batch concurrency
+//                                     (combines with --json/--golden/
+//                                     --write-golden like the default mode)
 //
-// CI runs `aam_analyze --golden=tests/golden/effect_signatures.txt`: any
-// change to an operator body or to the analysis that shifts a signature
-// must be accompanied by a regenerated golden, making effect changes
-// reviewable line-by-line.
+// CI runs `aam_analyze --golden=tests/golden/effect_signatures.txt` and
+// `aam_analyze --recommend --golden=tests/golden/recommendations.txt`: any
+// change to an operator body or to either model that shifts a signature or
+// a recommendation must be accompanied by a regenerated golden, making the
+// effect reviewable line-by-line.
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +28,8 @@
 #include <vector>
 
 #include "analysis/capacity.hpp"
+#include "analysis/conflict.hpp"
+#include "analysis/recommend.hpp"
 #include "analysis/report.hpp"
 #include "analysis/signature.hpp"
 #include "util/cli.hpp"
@@ -58,56 +67,95 @@ void print_drift(const std::string& expected, const std::string& actual) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  aam::util::Cli cli(argc, argv);
-  const bool json = cli.get_bool("json", false);
-  const std::string golden_path = cli.get_string("golden", "");
-  const std::string write_golden_path = cli.get_string("write-golden", "");
-  const int degree = static_cast<int>(cli.get_int("degree", 16));
-  const int chain = static_cast<int>(cli.get_int("chain", 8));
-  cli.check_unknown();
-
-  const auto signatures = aam::analysis::analyze_all();
-  const auto bounds = aam::analysis::capacity_bounds(signatures, degree, chain);
-
+/// Writes or diffs one golden rendering; shared by both modes.
+int run_golden(const std::string& what, const std::string& current,
+               const std::string& golden_path,
+               const std::string& write_golden_path,
+               const std::string& regen_flags) {
   if (!write_golden_path.empty()) {
-    const std::string golden =
-        aam::analysis::render_golden(signatures, bounds, degree, chain);
     std::ofstream out(write_golden_path, std::ios::binary);
     if (!out) {
       std::fprintf(stderr, "aam_analyze: cannot write %s\n",
                    write_golden_path.c_str());
       return 1;
     }
-    out << golden;
+    out << current;
     std::printf("wrote %s (%zu bytes)\n", write_golden_path.c_str(),
-                golden.size());
+                current.size());
+    return 0;
+  }
+  bool ok = false;
+  const std::string committed = read_file(golden_path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "aam_analyze: cannot read golden %s\n",
+                 golden_path.c_str());
+    return 1;
+  }
+  if (committed != current) {
+    std::fprintf(stderr,
+                 "aam_analyze: %s drifted from %s\n"
+                 "If the change is intentional, regenerate with:\n"
+                 "  ./build/tools/aam_analyze %s--write-golden %s\n",
+                 what.c_str(), golden_path.c_str(), regen_flags.c_str(),
+                 golden_path.c_str());
+    print_drift(committed, current);
+    return 1;
+  }
+  std::printf("%s match %s\n", what.c_str(), golden_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aam::util::Cli cli(argc, argv);
+  const bool json = cli.get_bool("json", false);
+  const bool recommend = cli.get_bool("recommend", false);
+  const std::string golden_path = cli.get_string("golden", "");
+  const std::string write_golden_path = cli.get_string("write-golden", "");
+  const int degree = static_cast<int>(cli.get_int("degree", 16));
+  const int chain = static_cast<int>(cli.get_int("chain", 8));
+  const int scale = static_cast<int>(cli.get_int("scale", 16));
+  const int edge_factor = static_cast<int>(cli.get_int("edge-factor", 8));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+  const int batch = static_cast<int>(cli.get_int("batch", 16));
+  cli.check_unknown();
+
+  const auto signatures = aam::analysis::analyze_all();
+
+  if (recommend) {
+    const auto workload =
+        aam::analysis::workload_for_scale(scale, edge_factor, threads, batch);
+    const auto wbounds = aam::analysis::capacity_bounds(
+        signatures, static_cast<int>(workload.mean_degree + 0.5),
+        workload.chain);
+    const auto recs =
+        aam::analysis::recommend(signatures, wbounds, workload);
+    if (!golden_path.empty() || !write_golden_path.empty()) {
+      return run_golden(
+          "mechanism recommendations",
+          aam::analysis::render_recommend_golden(recs, workload), golden_path,
+          write_golden_path, "--recommend ");
+    }
+    if (json) {
+      std::printf(
+          "%s\n",
+          aam::analysis::render_recommend_json(recs, workload).c_str());
+    } else {
+      std::printf(
+          "%s\n",
+          aam::analysis::render_recommend_table(recs, workload).c_str());
+    }
     return 0;
   }
 
-  if (!golden_path.empty()) {
-    const std::string current =
-        aam::analysis::render_golden(signatures, bounds, degree, chain);
-    bool ok = false;
-    const std::string committed = read_file(golden_path, ok);
-    if (!ok) {
-      std::fprintf(stderr, "aam_analyze: cannot read golden %s\n",
-                   golden_path.c_str());
-      return 1;
-    }
-    if (committed != current) {
-      std::fprintf(stderr,
-                   "aam_analyze: effect signatures drifted from %s\n"
-                   "If the change is intentional, regenerate with:\n"
-                   "  ./build/tools/aam_analyze --write-golden %s\n",
-                   golden_path.c_str(), golden_path.c_str());
-      print_drift(committed, current);
-      return 1;
-    }
-    std::printf("effect signatures match %s\n", golden_path.c_str());
-    return 0;
+  const auto bounds = aam::analysis::capacity_bounds(signatures, degree, chain);
+
+  if (!golden_path.empty() || !write_golden_path.empty()) {
+    return run_golden(
+        "effect signatures",
+        aam::analysis::render_golden(signatures, bounds, degree, chain),
+        golden_path, write_golden_path, "");
   }
 
   if (json) {

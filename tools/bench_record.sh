@@ -7,7 +7,7 @@
 # Extra args are forwarded to bench_throughput (e.g. --scale=12 for a CI
 # smoke run, or --fault=lossy-net to record recovery-path throughput).
 # Exits non-zero when the binary fails or the JSON does not match the
-# aam-bench-wallclock-v2 schema (missing keys, empty results, or
+# aam-bench-wallclock-v3 schema (missing keys, empty results, or
 # non-positive throughput).
 set -euo pipefail
 
@@ -37,7 +37,7 @@ def fail(msg):
     print(f"bench_record: schema error in {path}: {msg}", file=sys.stderr)
     sys.exit(1)
 
-if doc.get("schema") != "aam-bench-wallclock-v2":
+if doc.get("schema") != "aam-bench-wallclock-v3":
     fail(f"unexpected schema {doc.get('schema')!r}")
 for key in ("scale", "machine", "threads", "fault", "results"):
     if key not in doc:
@@ -45,13 +45,18 @@ for key in ("scale", "machine", "threads", "fault", "results"):
 results = doc["results"]
 if not isinstance(results, list) or not results:
     fail("empty results array")
+mechanisms = set()
 for r in results:
     for key in ("algorithm", "mechanism", "elements", "wall_seconds",
-                "elements_per_sec", "sim_time_ns", "commits", "aborts"):
+                "elements_per_sec", "sim_time_ns", "commits", "aborts",
+                "prediction_miss", "descents", "capacity_clamps"):
         if key not in r:
             fail(f"result entry missing {key!r}: {r}")
+    mechanisms.add(r["mechanism"])
     if r["elements"] <= 0 or r["elements_per_sec"] <= 0:
         fail(f"non-positive throughput: {r}")
+if "auto" not in mechanisms:
+    fail("no --mechanism=auto rows recorded")
 print(f"bench_record: {path} OK "
       f"({len(results)} entries, scale={doc['scale']}, "
       f"machine={doc['machine']}, fault={doc['fault']})")

@@ -1,0 +1,18 @@
+// Lint fixture: known-bad. An algorithm body that hardwires its
+// synchronization mechanism with a Mechanism:: literal instead of leaving
+// the choice to executor dispatch (Options::mechanism / AutoPolicy).
+#include <cstdint>
+
+namespace aam::algorithms {
+
+void run_hardwired(int batch) {
+  struct Options {
+    int mechanism;
+    int batch;
+  };
+  Options o;
+  o.mechanism = static_cast<int>(core::Mechanism::kHtmCoarsened);
+  o.batch = batch;
+}
+
+}  // namespace aam::algorithms

@@ -1,0 +1,13 @@
+// Lint fixture: known-good. A legitimate mention of a concrete mechanism
+// (comparing against the *configured* one) annotated with the allow
+// marker, plus a comment-only mention that must not trip the pass.
+#include <cstdint>
+
+namespace aam::algorithms {
+
+// A doc comment may freely say Mechanism::kHtmCoarsened without tripping.
+bool is_coarsened(core::Mechanism configured) {
+  return configured == core::Mechanism::kHtmCoarsened;  // lint:allow-mechanism
+}
+
+}  // namespace aam::algorithms

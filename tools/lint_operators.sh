@@ -20,6 +20,15 @@
 # static effect-signature analyzer, which replays operators through
 # analysis::AbstractAccess via the same template seam.
 #
+# Pass 4 — hardwired mechanism selection. Algorithms must leave mechanism
+# choice to the executor dispatch (Options::mechanism, --mechanism=auto's
+# AutoPolicy routing): after stripping comments, flags any `Mechanism::`
+# literal inside src/algorithms/*.cpp. A literal there pins the algorithm
+# to one synchronization mechanism, silently bypassing both the CLI flag
+# and the static recommendation table. The rare legitimate mention (e.g.
+# a comparison against the *configured* mechanism) is annotated with a
+# `lint:allow-mechanism` comment marker.
+#
 # Pass 3 — nondeterminism sources. The simulator must be a pure function
 # of its seed: simulated components draw randomness from util::Rng streams
 # and time from the DES clock, never from the host. After stripping
@@ -103,6 +112,40 @@ for f in "$@"; do
       }
       sub(/\/\/.*/, "", line)
       if (line ~ /[(,][ \t]*(const[ \t]+)?core::Access[ \t]*&/) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        bad = 1
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$f" || status=1
+done
+
+# Pass 4 file set: the explicit arguments, or the algorithm bodies (the
+# headers hold only Options structs, whose Mechanism default is the
+# executor-dispatch seam itself, so only the .cpp files are scanned).
+if [ "$explicit_files" -eq 0 ]; then
+  set -- src/algorithms/*.cpp
+fi
+
+for f in "$@"; do
+  awk '
+    {
+      raw = $0
+      line = $0
+      if (inblock) {
+        i = index(line, "*/")
+        if (i == 0) next
+        line = substr(line, i + 2)
+        inblock = 0
+      }
+      while ((s = index(line, "/*")) > 0) {
+        e = index(substr(line, s + 2), "*/")
+        if (e == 0) { line = substr(line, 1, s - 1); inblock = 1; break }
+        line = substr(line, 1, s - 1) substr(line, s + e + 3)
+      }
+      sub(/\/\/.*/, "", line)
+      if (raw ~ /lint:allow-mechanism/) next
+      if (line ~ /Mechanism[ \t]*::/) {
         printf "%s:%d: %s\n", FILENAME, FNR, $0
         bad = 1
       }

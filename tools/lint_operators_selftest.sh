@@ -31,6 +31,14 @@ if ! "$lint" "$fixtures/good_wallclock_marker.hpp"; then
   echo "FAIL: good_wallclock_marker.hpp rejected (allow marker broken)" >&2
   fail=1
 fi
+if "$lint" "$fixtures/bad_mechanism_literal.cpp" >/dev/null 2>&1; then
+  echo "FAIL: bad_mechanism_literal.cpp accepted (mechanism pass broken)" >&2
+  fail=1
+fi
+if ! "$lint" "$fixtures/good_mechanism_marker.cpp"; then
+  echo "FAIL: good_mechanism_marker.cpp rejected (allow marker broken)" >&2
+  fail=1
+fi
 # The real tree must still be clean under both passes.
 if ! "$lint"; then
   echo "FAIL: src/algorithms/ no longer passes the lint" >&2
