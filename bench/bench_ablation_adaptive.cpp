@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
   const auto items = static_cast<std::uint64_t>(cli.get_int("items", 1 << 16));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

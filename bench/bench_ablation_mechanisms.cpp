@@ -29,6 +29,7 @@
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
+#include "sim/host_pool.hpp"
 
 namespace {
 
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
   choices.push_back("auto");
   const std::string only = cli.get_choice("mechanism", "all", choices);
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
   cli.check_unknown();
 
   bench::print_header(
@@ -234,29 +236,50 @@ int main(int argc, char** argv) {
         *setup.config, setup.kind,
         analysis::workload_from_graph(wg, setup.threads, setup.opt_m));
 
+    // Each (algorithm, variant) pair is an independent cell (own heap and
+    // machine), so the sweep runs on the parallel DES backend. The "vs
+    // atomics" column is derived from the gathered slots afterwards, in
+    // deterministic cell order, so the table is identical at any
+    // --host-threads value. --check runs stay sequential: the checker's
+    // verdict handling (ScopedChecker exits the process on a violation)
+    // is not a per-shard effect.
+    const std::size_t n_cells = algos.size() * variants.size();
+    std::vector<RunResult> slots(n_cells);
+    sim::ShardRunner runner(check_cfg.enabled() ? 1 : host_threads);
+    runner.run(n_cells, [&](sim::ShardId cell_id) {
+      const Algo& algo = algos[cell_id / variants.size()];
+      const Variant& v = variants[cell_id % variants.size()];
+      const int batch = v.batch == 0 ? setup.opt_m : v.batch;
+      mem::SimHeap heap(heap_bytes);
+      htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
+                              heap, seed);
+      machine.bind_shard(cell_id);
+      bench::ScopedChecker scoped(machine, check_cfg);
+      // Private policy copy: AutoTelemetry is mutable inside the shared
+      // per-graph policies, so parallel auto cells must not share one.
+      const core::AutoPolicy policy_copy =
+          algo.weighted ? policy_wg : policy_g;
+      const core::AutoPolicy* policy = v.is_auto ? &policy_copy : nullptr;
+      // Audit the auto dispatcher against its own capacity analysis.
+      if (scoped.checker() != nullptr) {
+        scoped.checker()->set_capacity_policy(policy);
+      }
+      slots[cell_id] = algo.run(machine, v.mech, batch,
+                                scoped.decorator(), policy);
+    });
+
     util::Table table({"algorithm", "mechanism", "runtime", "vs atomics",
                        "commits", "aborts", "cas", "acc"});
-    for (const Algo& algo : algos) {
+    for (std::size_t a = 0; a < algos.size(); ++a) {
       double atomics_time = 0;
-      for (const Variant& v : variants) {
-        const int batch = v.batch == 0 ? setup.opt_m : v.batch;
-        mem::SimHeap heap(heap_bytes);
-        htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
-                                heap, seed);
-        bench::ScopedChecker scoped(machine, check_cfg);
-        const core::AutoPolicy* policy =
-            v.is_auto ? (algo.weighted ? &policy_wg : &policy_g) : nullptr;
-        // Audit the auto dispatcher against its own capacity analysis.
-        if (scoped.checker() != nullptr) {
-          scoped.checker()->set_capacity_policy(policy);
-        }
-        const RunResult r = algo.run(machine, v.mech, batch,
-                                     scoped.decorator(), policy);
+      for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const Variant& v = variants[vi];
+        const RunResult& r = slots[a * variants.size() + vi];
         if (v.mech == core::Mechanism::kAtomicOps) atomics_time = r.time_ns;
         const std::string speedup =
             atomics_time > 0 ? bench::speedup_str(atomics_time / r.time_ns) + "x"
                              : "-";
-        table.row().cell(algo.name).cell(v.label)
+        table.row().cell(algos[a].name).cell(v.label)
             .cell(util::format_time_ns(r.time_ns)).cell(speedup)
             .cell(r.stats.committed).cell(r.stats.total_aborts())
             .cell(r.stats.atomic_cas).cell(r.stats.atomic_acc);

@@ -21,6 +21,7 @@
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
 #include "net/cluster.hpp"
+#include "sim/shard.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -158,6 +159,34 @@ inline std::string get_fault_spec(util::Cli& cli) {
     std::exit(2);
   }
   return spec;
+}
+
+/// Read --host-threads=N|max and install it as the process-wide worker
+/// count for the parallel DES backend (sim::ShardRunner). N=1 (the
+/// default) is the strict sequential engine: shard jobs run inline on the
+/// caller with no thread machinery, and every simulated result is
+/// bit-identical at any other N — the backend only changes which host
+/// thread executes an independent shard, never the simulated schedule.
+/// Exits 2 on a malformed value, like every other bad flag.
+inline int get_host_threads(util::Cli& cli) {
+  const std::string raw = cli.get_string("host-threads", "");
+  if (!raw.empty()) {
+    int n = 0;
+    if (raw == "max") {
+      n = sim::max_host_threads();
+    } else {
+      char* end = nullptr;
+      const long v = std::strtol(raw.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > 1024) {
+        std::cerr << "invalid --host-threads=" << raw
+                  << "; expected an integer >= 1 or \"max\"\n";
+        std::exit(2);
+      }
+      n = static_cast<int>(v);
+    }
+    sim::set_host_threads(n);
+  }
+  return sim::host_threads();
 }
 
 }  // namespace aam::bench

@@ -293,6 +293,8 @@ int main(int argc, char** argv) {
   const std::string only_mech =
       cli.get_choice("mechanism", "all", mech_choices);
   const std::string machine_filter = cli.get_string("machine", "all");
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   // Scenario list: every canned scenario except "none" (each is compared

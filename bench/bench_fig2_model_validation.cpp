@@ -118,6 +118,8 @@ int main(int argc, char** argv) {
   io.cli = &cli;
   io.csv_path = cli.get_string("csv", "");
   const int activities = static_cast<int>(cli.get_int("activities", 2000));
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   aam::bench::print_header(

@@ -209,6 +209,8 @@ int main(int argc, char** argv) {
   io.csv_path = cli.get_string("csv", "");
   const int reps = static_cast<int>(cli.get_int("reps", 200));
   g_naive_mark = cli.get_bool("naive-mark", false);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   aam::bench::print_header(

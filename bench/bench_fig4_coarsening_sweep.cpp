@@ -72,6 +72,8 @@ int main(int argc, char** argv) {
                   240, 272, 320});
   const std::string only_machine = cli.get_string("machine", "");
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

@@ -210,6 +210,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const check::CheckConfig check_cfg = check::check_flag(cli);
   const std::string fault_spec = bench::get_fault_spec(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header("Figure 5c-5h — inter-node activities (§5.6)",

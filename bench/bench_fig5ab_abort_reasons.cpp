@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   const int batch = static_cast<int>(cli.get_int("batch", 2));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

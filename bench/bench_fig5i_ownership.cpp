@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
       static_cast<graph::Vertex>(cli.get_int("vertices", 1 << 14));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const int scale_x = static_cast<int>(cli.get_int("scale-x", 10));
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
   const core::MechanismSelection selection =
       core::mechanism_selection_flag(cli, "mechanism", "htm");
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

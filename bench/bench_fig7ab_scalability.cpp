@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
   // conflict-bound optimum is smaller (see Fig 4 / EXPERIMENTS.md).
   const int aam_batch = static_cast<int>(cli.get_int("aam-batch", 16));
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

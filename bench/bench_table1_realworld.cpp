@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
   const bool run_hama = cli.get_bool("hama", true);
   const std::string only = cli.get_string("only", "");
   const check::CheckConfig check_cfg = check::check_flag(cli);
+  const int host_threads = bench::get_host_threads(cli);
+  (void)host_threads;
   cli.check_unknown();
 
   bench::print_header(

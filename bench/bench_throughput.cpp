@@ -7,8 +7,11 @@
 // afford. Element counts are deterministic properties of the run (edges
 // scanned, relaxations, ...), so elements/sec moves only with host-side
 // cost per access: exactly the executor/footprint hot path this metric
-// exists to track. Output is JSON (schema aam-bench-wallclock-v3) so CI
+// exists to track. Output is JSON (schema aam-bench-wallclock-v4) so CI
 // can diff runs; tools/bench_record.sh wraps this into BENCH_wallclock.json.
+// --host-threads=N runs the independent (algorithm, mechanism) cells on N
+// host workers via the parallel DES backend; results are identical at any
+// N, and the top-level wall_ms field captures the whole-sweep wall-clock.
 //
 // Besides the fixed mechanisms, every algorithm also runs one
 // --mechanism=auto row: the static recommendation table
@@ -43,6 +46,7 @@
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
 #include "graph/partition.hpp"
+#include "sim/host_pool.hpp"
 
 namespace {
 
@@ -177,6 +181,7 @@ int main(int argc, char** argv) {
   const int batch = static_cast<int>(cli.get_int("batch", 16));
   int threads = static_cast<int>(cli.get_int("threads", 0));
   const std::string fault_spec = bench::get_fault_spec(cli);
+  const int host_threads = bench::get_host_threads(cli);
   cli.check_unknown();
   AAM_CHECK(repeats >= 1);
 
@@ -215,19 +220,16 @@ int main(int argc, char** argv) {
       config, kind, analysis::workload_from_graph(wg, threads, batch));
 
   std::string json = "{\n";
-  json += "  \"schema\": \"aam-bench-wallclock-v3\",\n";
+  json += "  \"schema\": \"aam-bench-wallclock-v4\",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
   json += "  \"edge_factor\": " + std::to_string(edge_factor) + ",\n";
   json += "  \"machine\": \"" + config.name + "\",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"host_threads\": " + std::to_string(host_threads) + ",\n";
   json += "  \"batch\": " + std::to_string(batch) + ",\n";
   json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
   json += "  \"fault\": \"" + fault_spec + "\",\n";
-  json += "  \"results\": [\n";
 
-  bool first = true;
-  std::printf("%-10s %-12s %14s %12s %14s\n", "algorithm", "mechanism",
-              "elements", "wall ms", "elems/sec");
   struct Selection {
     std::string label;
     core::Mechanism mech = core::Mechanism::kHtmCoarsened;
@@ -243,16 +245,55 @@ int main(int argc, char** argv) {
     selections.push_back({"auto", core::Mechanism::kHtmCoarsened, true});
   }
 
+  // Every (algorithm, mechanism) pair — plus the Cluster-backed
+  // distributed-PageRank row — is an independent *cell*: its own SimHeap,
+  // DesMachine, fault injector, and (for auto rows) AutoPolicy copy, no
+  // shared mutable state. Cells are therefore shards for the parallel DES
+  // backend: sim::ShardRunner executes them across --host-threads host
+  // workers, results land in slot [cell index], and the table/JSON are
+  // assembled in cell order — identical for every --host-threads value
+  // while wall-clock drops with parallelism.
+  struct Cell {
+    const Algo* algo = nullptr;  ///< nullptr = distributed-PageRank cell
+    Selection sel;
+  };
+  struct CellResult {
+    std::string algorithm;
+    std::string mechanism;
+    std::uint64_t elements = 0;
+    double best_seconds = 0;
+    double sim_time_ns = 0;
+    htm::HtmStats stats;
+    core::AutoTelemetry tele;
+  };
+  std::vector<Cell> cells;
   for (const Algo& algo : kAlgos) {
     if (algo_filter != "all" && algo_filter != algo.name) continue;
-    const core::AutoPolicy& policy = algo.weighted ? policy_wg : policy_g;
-    for (const Selection& sel : selections) {
+    for (const Selection& sel : selections) cells.push_back({&algo, sel});
+  }
+  if (algo_filter == "all" || algo_filter == "pagerank-dist") {
+    cells.push_back({nullptr, {}});
+  }
+
+  std::vector<CellResult> slots(cells.size());
+  const auto sweep_t0 = Clock::now();
+  sim::ShardRunner runner(host_threads);
+  runner.run(cells.size(), [&](sim::ShardId cell_id) {
+    const Cell& cell = cells[cell_id];
+    CellResult& res = slots[cell_id];
+    if (cell.algo != nullptr) {
+      const Algo& algo = *cell.algo;
+      const Selection& sel = cell.sel;
+      // Private policy copy: AutoTelemetry is mutable inside the shared
+      // per-graph policy, so parallel auto cells each route via their own.
+      core::AutoPolicy policy = algo.weighted ? policy_wg : policy_g;
       double best_seconds = 0;
       RunOutcome out;
       for (int rep = 0; rep < repeats; ++rep) {
         policy.telemetry = {};
         mem::SimHeap heap(heap_bytes);
         htm::DesMachine machine(config, kind, threads, heap, seed);
+        machine.bind_shard(cell_id);
         bench::ScopedFault fault(machine, fault_spec, seed);
         const auto t0 = Clock::now();
         out = algo.run(machine, g, wg, root, st_t, sel.mech, batch, seed,
@@ -261,35 +302,17 @@ int main(int argc, char** argv) {
             std::chrono::duration<double>(Clock::now() - t0).count();
         if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
       }
-      const core::AutoTelemetry tele =
-          sel.is_auto ? policy.telemetry : core::AutoTelemetry{};
-      const double rate =
-          best_seconds > 0 ? static_cast<double>(out.elements) / best_seconds
-                           : 0;
-      std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", algo.name.c_str(),
-                  sel.label.c_str(),
-                  static_cast<unsigned long long>(out.elements),
-                  best_seconds * 1e3, rate);
-      if (!first) json += ",\n";
-      first = false;
-      json += "    {\"algorithm\": \"" + algo.name + "\", \"mechanism\": \"" +
-              sel.label + "\", \"elements\": " +
-              std::to_string(out.elements) + ", \"wall_seconds\": " +
-              json_escape_double(best_seconds) + ", \"elements_per_sec\": " +
-              json_escape_double(rate) + ", \"sim_time_ns\": " +
-              json_escape_double(out.sim_time_ns) + ", \"commits\": " +
-              std::to_string(out.stats.committed) + ", \"aborts\": " +
-              std::to_string(out.stats.total_aborts()) +
-              ", \"prediction_miss\": " + std::to_string(tele.prediction_miss) +
-              ", \"descents\": " + std::to_string(tele.descents) +
-              ", \"capacity_clamps\": " + std::to_string(tele.capacity_clamps) +
-              "}";
+      res.algorithm = algo.name;
+      res.mechanism = sel.label;
+      res.elements = out.elements;
+      res.best_seconds = best_seconds;
+      res.sim_time_ns = out.sim_time_ns;
+      res.stats = out.stats;
+      if (sel.is_auto) res.tele = policy.telemetry;
+      return;
     }
-  }
-
-  // Distributed PageRank row: the one Cluster-backed entry, so network
-  // fault scenarios exercise the reliable-delivery protocol end to end.
-  if (algo_filter == "all" || algo_filter == "pagerank-dist") {
+    // Distributed PageRank cell: the one Cluster-backed entry, so network
+    // fault scenarios exercise the reliable-delivery protocol end to end.
     const int nodes = 4;
     const int per_node = std::max(1, threads / nodes);
     double best_seconds = 0;
@@ -299,6 +322,7 @@ int main(int argc, char** argv) {
       const graph::Block1D part(g.num_vertices(), nodes);
       mem::SimHeap heap(heap_bytes);
       net::Cluster cluster(config, kind, nodes, per_node, heap, seed);
+      cluster.machine().bind_shard(cell_id);
       bench::ScopedFault fault(cluster, fault_spec, seed);
       algorithms::DistPrOptions o;
       o.iterations = 3;
@@ -311,22 +335,44 @@ int main(int argc, char** argv) {
       elements = static_cast<std::uint64_t>(o.iterations) *
                  (g.num_edges() + g.num_vertices());
     }
+    res.algorithm = "pagerank-dist";
+    res.mechanism = "am";
+    res.elements = elements;
+    res.best_seconds = best_seconds;
+    res.sim_time_ns = r.total_time_ns;
+    res.stats = r.stats;
+  });
+  const double sweep_wall_ms =
+      std::chrono::duration<double>(Clock::now() - sweep_t0).count() * 1e3;
+
+  json += "  \"wall_ms\": " + json_escape_double(sweep_wall_ms) + ",\n";
+  json += "  \"results\": [\n";
+  bool first = true;
+  std::printf("%-10s %-12s %14s %12s %14s\n", "algorithm", "mechanism",
+              "elements", "wall ms", "elems/sec");
+  for (const CellResult& res : slots) {
     const double rate =
-        best_seconds > 0 ? static_cast<double>(elements) / best_seconds : 0;
-    std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", "pagerank-dist", "am",
-                static_cast<unsigned long long>(elements),
-                best_seconds * 1e3, rate);
+        res.best_seconds > 0
+            ? static_cast<double>(res.elements) / res.best_seconds
+            : 0;
+    std::printf("%-10s %-12s %14llu %12.2f %14.0f\n", res.algorithm.c_str(),
+                res.mechanism.c_str(),
+                static_cast<unsigned long long>(res.elements),
+                res.best_seconds * 1e3, rate);
     if (!first) json += ",\n";
     first = false;
-    json += "    {\"algorithm\": \"pagerank-dist\", \"mechanism\": \"am\", "
-            "\"elements\": " + std::to_string(elements) +
-            ", \"wall_seconds\": " + json_escape_double(best_seconds) +
+    json += "    {\"algorithm\": \"" + res.algorithm + "\", \"mechanism\": \"" +
+            res.mechanism + "\", \"elements\": " +
+            std::to_string(res.elements) + ", \"wall_seconds\": " +
+            json_escape_double(res.best_seconds) +
             ", \"elements_per_sec\": " + json_escape_double(rate) +
-            ", \"sim_time_ns\": " + json_escape_double(r.total_time_ns) +
-            ", \"commits\": " + std::to_string(r.stats.committed) +
-            ", \"aborts\": " + std::to_string(r.stats.total_aborts()) +
-            ", \"prediction_miss\": 0, \"descents\": 0"
-            ", \"capacity_clamps\": 0}";
+            ", \"sim_time_ns\": " + json_escape_double(res.sim_time_ns) +
+            ", \"commits\": " + std::to_string(res.stats.committed) +
+            ", \"aborts\": " + std::to_string(res.stats.total_aborts()) +
+            ", \"prediction_miss\": " + std::to_string(res.tele.prediction_miss) +
+            ", \"descents\": " + std::to_string(res.tele.descents) +
+            ", \"capacity_clamps\": " +
+            std::to_string(res.tele.capacity_clamps) + "}";
   }
   json += "\n  ]\n}\n";
 

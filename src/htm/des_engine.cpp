@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -218,14 +219,25 @@ void DesMachine::schedule_callback(double t, std::function<void()> fn) {
   queue_.push(std::max(t, now_), 0, kCallback, slot);
 }
 
-void DesMachine::run() {
+void DesMachine::begin_external_run() {
   // Host-side writes made between runs (initialisation, inter-phase
   // fixups) happen single-threaded and are sanctioned wholesale.
   if (write_observer_ != nullptr) write_observer_->on_run_start();
   last_progress_ = std::max(last_progress_, now_);
   for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
+}
+
+bool DesMachine::step(double horizon) {
+  while (!queue_.empty() && queue_.peek_time() <= horizon) {
+    dispatch(queue_.pop());
+  }
+  return !queue_.empty();
+}
+
+void DesMachine::run() {
+  begin_external_run();
   while (true) {
-    while (!queue_.empty()) dispatch(queue_.pop());
+    step(std::numeric_limits<double>::infinity());
     if (!quiescence_ || !quiescence_(*this)) break;
     AAM_CHECK_MSG(!queue_.empty(),
                   "quiescence hook returned true without injecting work");

@@ -124,6 +124,11 @@ class StmEngine {
 
   std::uint64_t commits() const { return stats_commits_.load(); }
   std::uint64_t aborts() const { return stats_aborts_.load(); }
+  /// Aborts requested by the transaction body via StmTxn::abort().
+  /// Counted separately from aborts(), which tallies only commit-time
+  /// validation/lock conflicts: an explicit abort is a completed activity
+  /// that chose to do nothing, not a retry.
+  std::uint64_t explicit_aborts() const { return stats_explicit_.load(); }
 
  private:
   friend class StmTxn;

@@ -1,0 +1,91 @@
+#include "sim/cosim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace aam::sim {
+
+WindowedCoSim::WindowedCoSim(std::vector<CoSimShard*> shards, Time lookahead,
+                             int host_threads)
+    : shards_(std::move(shards)),
+      lookahead_(lookahead),
+      runner_(host_threads),
+      gate_(static_cast<std::uint32_t>(shards_.size()), lookahead),
+      outbox_(shards_.size()),
+      post_seq_(shards_.size(), 0) {
+  AAM_CHECK(!shards_.empty());
+  for (const CoSimShard* s : shards_) AAM_CHECK(s != nullptr);
+}
+
+void WindowedCoSim::post(ShardId src, ShardId dst, Time send_time,
+                         Time arrival_time, std::function<void()> apply) {
+  AAM_CHECK(src < shards_.size() && dst < shards_.size());
+  AAM_CHECK_MSG(current_shard() == src,
+                "cross-shard post from a foreign shard context");
+  AAM_CHECK_MSG(arrival_time >= send_time + lookahead_,
+                "cross-shard message undercuts the channel lookahead L");
+  Posted p;
+  p.arrival = arrival_time;
+  p.src = src;
+  p.dst = dst;
+  p.src_seq = post_seq_[src]++;
+  p.ticket = gate_.send(src, dst, send_time);
+  p.apply = std::move(apply);
+  outbox_[src].push_back(std::move(p));
+}
+
+std::uint64_t WindowedCoSim::run() {
+  const std::size_t k = shards_.size();
+  std::uint64_t windows = 0;
+  std::vector<Time> horizon(k, 0);
+
+  while (true) {
+    // Barrier: apply the previous window's cross-shard messages in the
+    // deterministic (arrival, src, per-src seq) order, every shard idle.
+    std::vector<Posted> arriving;
+    for (std::vector<Posted>& box : outbox_) {
+      for (Posted& p : box) arriving.push_back(std::move(p));
+      box.clear();
+    }
+    std::sort(arriving.begin(), arriving.end(),
+              [](const Posted& a, const Posted& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.src != b.src) return a.src < b.src;
+                return a.src_seq < b.src_seq;
+              });
+    for (Posted& p : arriving) {
+      // The delivery acts on the destination's state (its shard-bound
+      // event queue), so it runs under the destination's identity; every
+      // shard is idle at the barrier, so this cannot race.
+      ShardGuard guard(p.dst);
+      p.apply();
+      gate_.deliver(p.ticket);
+    }
+    AAM_CHECK(gate_.messages_pending() == 0);
+
+    // Window planning: each shard promises not to act (and so not to
+    // send) before its next local event; the gate turns those promises
+    // into per-shard conservative horizons.
+    bool any_events = false;
+    for (ShardId s = 0; s < k; ++s) {
+      const bool live = shards_[s]->has_events();
+      any_events = any_events || live;
+      gate_.set_clock(s, live ? shards_[s]->next_time()
+                              : std::numeric_limits<Time>::infinity());
+    }
+    if (!any_events) break;
+    for (ShardId s = 0; s < k; ++s) horizon[s] = gate_.safe_horizon(s);
+
+    ++windows;
+    runner_.run(k, [&](ShardId s) {
+      CoSimShard& shard = *shards_[s];
+      if (!shard.has_events() || shard.next_time() > horizon[s]) return;
+      shard.step(horizon[s]);
+    });
+  }
+  return windows;
+}
+
+}  // namespace aam::sim

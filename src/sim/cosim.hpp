@@ -1,0 +1,95 @@
+#pragma once
+
+// Windowed conservative co-simulation over coupled shards.
+//
+// WindowedCoSim drives K shards that exchange messages over channels with
+// a minimum latency L. Execution proceeds in globally agreed windows:
+//
+//   1. H = min over live shards of next_event_time() + L  (the horizon);
+//   2. every shard steps its local event queue up to H in parallel —
+//      safe, because any message a peer sends inside this window departs
+//      at >= the window's lower bound and arrives at >= that bound + L
+//      = H, i.e. strictly beyond what anyone is executing;
+//   3. barrier: messages posted during the window are sorted by
+//      (arrival time, source shard, per-source sequence) — the (time,
+//      seq, shard) total order — and applied to their destinations by
+//      the coordinator while all shards are idle;
+//   4. repeat until no shard has events and nothing is in flight.
+//
+// Because each shard's step is single-threaded and internally ordered by
+// its own (time, seq) event queue, and because cross-shard deliveries are
+// applied in the deterministic barrier order, the trace — and therefore
+// every simulated time, counter, and heap word — is bit-identical for
+// every host-thread count, including the sequential inline mode.
+//
+// The within-machine analogue: a DesMachine's batch boundaries play the
+// role of L (the executor layer already synchronizes there), while this
+// driver covers the between-machines case where L is the network latency.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/host_pool.hpp"
+#include "sim/shard.hpp"
+#include "sim/time.hpp"
+
+namespace aam::sim {
+
+/// One coupled shard: a self-contained event-driven simulation that can
+/// execute in horizon-bounded steps. htm::DesMachine satisfies this shape
+/// via step()/has_pending_events()/next_event_time().
+class CoSimShard {
+ public:
+  virtual ~CoSimShard() = default;
+  virtual bool has_events() const = 0;
+  /// Earliest pending local event; only called when has_events().
+  virtual Time next_time() const = 0;
+  /// Process local events with time <= horizon. Cross-shard effects must
+  /// be routed through WindowedCoSim::post(), never applied directly.
+  virtual void step(Time horizon) = 0;
+};
+
+class WindowedCoSim {
+ public:
+  /// `lookahead` is the channel latency L (> 0). Shards are identified by
+  /// their index in `shards`.
+  WindowedCoSim(std::vector<CoSimShard*> shards, Time lookahead,
+                int host_threads = 0);
+
+  /// Posts a cross-shard message from the currently stepping shard `src`
+  /// to `dst`: `apply` runs on the coordinator at the next barrier, with
+  /// every shard idle, and must schedule the effect at `arrival_time`
+  /// inside the destination (e.g. DesMachine::schedule_callback).
+  /// arrival_time must respect the channel: >= send_time + L.
+  void post(ShardId src, ShardId dst, Time send_time, Time arrival_time,
+            std::function<void()> apply);
+
+  /// Runs windows until every shard is out of events and no message is
+  /// in flight. Returns the number of windows executed.
+  std::uint64_t run();
+
+  const HorizonGate& gate() const { return gate_; }
+
+ private:
+  struct Posted {
+    Time arrival = 0;
+    ShardId src = 0;
+    ShardId dst = 0;
+    std::uint64_t src_seq = 0;  ///< per-source posting order
+    std::uint64_t ticket = 0;   ///< HorizonGate ticket
+    std::function<void()> apply;
+  };
+
+  std::vector<CoSimShard*> shards_;
+  Time lookahead_;
+  ShardRunner runner_;
+  HorizonGate gate_;
+  /// Per-source outboxes: a stepping shard appends only to its own slot,
+  /// so window execution needs no cross-shard synchronization beyond the
+  /// gate's ticket ledger.
+  std::vector<std::vector<Posted>> outbox_;
+  std::vector<std::uint64_t> post_seq_;
+};
+
+}  // namespace aam::sim

@@ -6,11 +6,21 @@
 // assigned at push time, so ties resolve in insertion order and a run is
 // bit-reproducible regardless of heap internals. (time, seq) is a total
 // order — seq is unique — so *any* correct heap pops the same sequence;
-// the layout tricks below cannot change observable order.
+// the layout tricks below cannot change observable order. Across queues
+// of different shards, (time, seq, shard) extends this to a total order —
+// the tie-break the parallel backend's barrier merge uses (cosim.hpp).
+//
+// Shard ownership: under the parallel backend each queue belongs to
+// exactly one shard (sim/shard.hpp) and must only ever be touched from
+// that shard's job. bind_shard() arms an always-on affinity check in
+// push/pop, so a cross-shard mutation bug dies deterministically on the
+// offending access instead of racing. Unbound queues (the legacy
+// single-threaded path) skip the thread-local lookup entirely.
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/shard.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
 
@@ -30,10 +40,22 @@ class EventQueue {
   /// steady-state push/pop never reallocates.
   void reserve(std::size_t events) { heap_.reserve(events); }
 
+  /// Binds the queue to the shard that owns it. From then on every push
+  /// and pop must happen on a host thread whose current_shard() matches;
+  /// a mismatch aborts deterministically. Call once, from the owning
+  /// shard's job, before the queue is used in parallel context.
+  void bind_shard(ShardId owner) {
+    AAM_CHECK_MSG(owner_ == kNoShard || owner_ == owner,
+                  "event queue already bound to a different shard");
+    owner_ = owner;
+  }
+  ShardId bound_shard() const { return owner_; }
+
   /// Enqueue an event at `time`. Returns the assigned sequence number.
   std::uint64_t push(Time time, std::uint32_t thread, std::uint32_t kind,
                      std::uint64_t payload = 0) {
     AAM_DCHECK(time >= 0);
+    check_owner();
     const std::uint64_t seq = next_seq_++;
     const Event e{time, seq, thread, kind, payload};
     if (hole_) {
@@ -68,6 +90,7 @@ class EventQueue {
   /// hole for the next push to fill; the heap is repaired lazily.
   Event pop() {
     AAM_CHECK(!empty());
+    check_owner();
     if (hole_) repair_hole();
     Event e = heap_[0];
     hole_ = true;
@@ -86,9 +109,20 @@ class EventQueue {
   void sift_down(std::size_t i, const Event& e);
   void repair_hole();
 
+  /// Affinity check, armed only once bind_shard() has run: unbound queues
+  /// (the legacy single-threaded path) pay a single branch, never the
+  /// thread-local read.
+  void check_owner() const {
+    if (owner_ != kNoShard) {
+      AAM_CHECK_MSG(current_shard() == owner_,
+                    "event queue touched from a foreign shard");
+    }
+  }
+
   std::vector<Event> heap_;  ///< binary min-heap on (time, seq)
   bool hole_ = false;  ///< heap_[0] is logically removed (pop deferred)
   std::uint64_t next_seq_ = 0;
+  ShardId owner_ = kNoShard;  ///< owning shard once bound (kNoShard = any)
 };
 
 /// Truncated exponential backoff with deterministic jitter, used by the

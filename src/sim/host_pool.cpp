@@ -1,0 +1,66 @@
+#include "sim/host_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aam::sim {
+
+ShardRunner::ShardRunner(int workers)
+    : workers_(workers <= 0 ? host_threads() : workers) {
+  AAM_CHECK(workers_ >= 1);
+}
+
+void ShardRunner::run(std::size_t num_jobs,
+                      const std::function<void(ShardId)>& job) {
+  if (num_jobs == 0) return;
+
+  // Sequential engine: no threads, no guards beyond the shard identity.
+  if (workers_ == 1 || num_jobs == 1) {
+    for (std::size_t i = 0; i < num_jobs; ++i) {
+      ShardGuard guard(static_cast<ShardId>(i));
+      job(static_cast<ShardId>(i));
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto drain = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_jobs) return;
+      ShardGuard guard(static_cast<ShardId>(i));
+      try {
+        job(static_cast<ShardId>(i));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+        // Cancel unstarted jobs; in-flight ones finish on their own.
+        cursor.store(num_jobs, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const std::size_t extra = std::min<std::size_t>(
+      static_cast<std::size_t>(workers_) - 1, num_jobs - 1);
+  std::vector<std::thread> threads;
+  threads.reserve(extra);
+  for (std::size_t t = 0; t < extra; ++t) threads.emplace_back(drain);
+  drain();  // the caller is worker 0
+  for (std::thread& t : threads) t.join();
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace aam::sim

@@ -1,0 +1,145 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace aam::sim {
+
+namespace {
+
+thread_local ShardId t_current_shard = kNoShard;
+
+// mix64 finalizer (splitmix64), the same diffusion primitive util::Rng
+// uses for stream forking. Reimplemented here to keep sim's dependency
+// surface header-light; the constant choices match rng.hpp.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<int> g_host_threads{0};  // 0 = not yet initialised
+
+int initial_host_threads() {
+  if (const char* env = std::getenv("AAM_HOST_THREADS"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<int>(std::min<long>(v, 1024));
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+ShardId current_shard() { return t_current_shard; }
+
+ShardGuard::ShardGuard(ShardId id) : prev_(t_current_shard) {
+  t_current_shard = id;
+}
+
+ShardGuard::~ShardGuard() { t_current_shard = prev_; }
+
+std::uint64_t shard_seed(std::uint64_t master_seed, ShardId shard) {
+  // Mirror util::Rng::fork's keyed-stream construction so shard streams
+  // and thread streams draw from the same decorrelated family.
+  return mix64(master_seed ^
+               mix64(static_cast<std::uint64_t>(shard) + 1 ^
+                     0x5bf03635d1f2b0e9ULL));
+}
+
+int host_threads() {
+  int v = g_host_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = initial_host_threads();
+    g_host_threads.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_host_threads(int n) {
+  AAM_CHECK_MSG(n >= 1, "--host-threads must be >= 1");
+  g_host_threads.store(n, std::memory_order_relaxed);
+}
+
+int max_host_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// ---------------------------------------------------------------------------
+// HorizonGate
+// ---------------------------------------------------------------------------
+
+HorizonGate::HorizonGate(std::uint32_t num_shards, Time min_latency)
+    : latency_(min_latency), clocks_(num_shards, 0) {
+  AAM_CHECK(num_shards >= 1);
+  AAM_CHECK_MSG(min_latency > 0,
+                "conservative lookahead requires a positive channel latency");
+}
+
+void HorizonGate::set_clock(ShardId s, Time t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AAM_CHECK(s < clocks_.size());
+  clocks_[s] = t;
+}
+
+Time HorizonGate::clock(ShardId s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AAM_CHECK(s < clocks_.size());
+  return clocks_[s];
+}
+
+std::uint64_t HorizonGate::send(ShardId src, ShardId dst, Time send_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AAM_CHECK(src < clocks_.size() && dst < clocks_.size());
+  AAM_CHECK_MSG(send_time >= clocks_[src],
+                "a shard cannot send from its own past");
+  Pending p;
+  p.dst = dst;
+  p.arrival_lb = send_time + latency_;
+  pending_.push_back(p);
+  ++undelivered_;
+  return pending_.size() - 1;
+}
+
+void HorizonGate::deliver(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AAM_CHECK(ticket < pending_.size());
+  AAM_CHECK_MSG(!pending_[ticket].delivered, "message delivered twice");
+  pending_[ticket].delivered = true;
+  --undelivered_;
+}
+
+Time HorizonGate::safe_horizon_locked(ShardId s) const {
+  Time h = std::numeric_limits<Time>::infinity();
+  for (ShardId p = 0; p < clocks_.size(); ++p) {
+    if (p == s) continue;
+    h = std::min(h, clocks_[p] + latency_);
+  }
+  if (undelivered_ > 0) {
+    for (const Pending& m : pending_) {
+      if (!m.delivered && m.dst == s) h = std::min(h, m.arrival_lb);
+    }
+  }
+  return h;
+}
+
+Time HorizonGate::safe_horizon(ShardId s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AAM_CHECK(s < clocks_.size());
+  return safe_horizon_locked(s);
+}
+
+std::uint64_t HorizonGate::messages_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return undelivered_;
+}
+
+}  // namespace aam::sim

@@ -29,6 +29,7 @@
 #include "core/executor.hpp"
 #include "graph/generators.hpp"
 #include "graph/gstats.hpp"
+#include "sim/host_pool.hpp"
 
 namespace aam {
 namespace {
@@ -176,34 +177,54 @@ std::string snapshot_lines() {
   };
   const std::vector<std::string> algos = {"bfs",      "pagerank", "sssp",
                                           "coloring", "st-conn",  "boruvka"};
-  std::ostringstream out;
+  // Each (setup, algorithm, mechanism) cell simulates on a machine of its
+  // own, so the sweep runs as shards on the parallel DES backend: cells
+  // execute across sim::host_threads() host workers (AAM_HOST_THREADS
+  // sweeps it without a rebuild), each line lands in its cell's slot, and
+  // the snapshot is assembled in cell order. The whole point of the
+  // snapshot applies to the backend itself: every line must be
+  // bit-identical at every host-thread count.
+  struct Cell {
+    const Setup* setup;
+    const std::string* algo;
+    core::Mechanism mech;
+  };
+  std::vector<Cell> cells;
   for (const Setup& setup : setups) {
     for (const std::string& algo : algos) {
       for (const core::Mechanism mech : core::all_mechanisms()) {
-        mem::SimHeap heap((std::size_t{1} << 20) * 8);
-        htm::DesMachine machine(*setup.config, setup.kind, setup.threads,
-                                heap, /*seed=*/1);
-        const RunRecord rec = run_one(machine, in, algo, mech);
-        char line[256];
-        // %a renders the simulated time exactly; any bit flip shows up.
-        std::snprintf(line, sizeof(line),
-                      "%s %s %s time=%a commits=%llu serialized=%llu "
-                      "aborts_conflict=%llu aborts_capacity=%llu "
-                      "aborts_other=%llu cas=%llu acc=%llu digest=%016llx\n",
-                      setup.config->name.c_str(), algo.c_str(),
-                      core::to_string(mech), rec.time_ns,
-                      static_cast<unsigned long long>(rec.stats.committed),
-                      static_cast<unsigned long long>(rec.stats.serialized),
-                      static_cast<unsigned long long>(rec.stats.aborts_conflict),
-                      static_cast<unsigned long long>(rec.stats.aborts_capacity),
-                      static_cast<unsigned long long>(rec.stats.aborts_other),
-                      static_cast<unsigned long long>(rec.stats.atomic_cas),
-                      static_cast<unsigned long long>(rec.stats.atomic_acc),
-                      static_cast<unsigned long long>(rec.digest));
-        out << line;
+        cells.push_back({&setup, &algo, mech});
       }
     }
   }
+  std::vector<std::string> lines(cells.size());
+  sim::parallel_shards(cells.size(), [&](sim::ShardId cell_id) {
+    const Cell& cell = cells[cell_id];
+    mem::SimHeap heap((std::size_t{1} << 20) * 8);
+    htm::DesMachine machine(*cell.setup->config, cell.setup->kind,
+                            cell.setup->threads, heap, /*seed=*/1);
+    machine.bind_shard(cell_id);
+    const RunRecord rec = run_one(machine, in, *cell.algo, cell.mech);
+    char line[256];
+    // %a renders the simulated time exactly; any bit flip shows up.
+    std::snprintf(line, sizeof(line),
+                  "%s %s %s time=%a commits=%llu serialized=%llu "
+                  "aborts_conflict=%llu aborts_capacity=%llu "
+                  "aborts_other=%llu cas=%llu acc=%llu digest=%016llx\n",
+                  cell.setup->config->name.c_str(), cell.algo->c_str(),
+                  core::to_string(cell.mech), rec.time_ns,
+                  static_cast<unsigned long long>(rec.stats.committed),
+                  static_cast<unsigned long long>(rec.stats.serialized),
+                  static_cast<unsigned long long>(rec.stats.aborts_conflict),
+                  static_cast<unsigned long long>(rec.stats.aborts_capacity),
+                  static_cast<unsigned long long>(rec.stats.aborts_other),
+                  static_cast<unsigned long long>(rec.stats.atomic_cas),
+                  static_cast<unsigned long long>(rec.stats.atomic_acc),
+                  static_cast<unsigned long long>(rec.digest));
+    lines[cell_id] = line;
+  });
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line;
   return out.str();
 }
 

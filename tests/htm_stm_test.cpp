@@ -69,6 +69,32 @@ TEST(StmEngine, ExplicitAbortDiscardsAndDoesNotRetry) {
   EXPECT_EQ(x, 0u);
   EXPECT_EQ(executions, 1);
   EXPECT_EQ(engine.commits(), 0u);
+  // The explicit request lands in its own counter, not in aborts():
+  // an explicit abort is a completed activity, not a conflict retry.
+  EXPECT_EQ(engine.aborts(), 0u);
+  EXPECT_EQ(engine.explicit_aborts(), 1u);
+}
+
+TEST(StmEngine, ExplicitAbortsCountOnlyExplicitRequests) {
+  StmEngine engine;
+  std::uint64_t x = 0;
+  // Commits never register as explicit aborts.
+  for (int i = 0; i < 3; ++i) {
+    engine.atomically([&](StmTxn& tx) { tx.fetch_add(x, std::uint64_t{1}); });
+  }
+  EXPECT_EQ(engine.commits(), 3u);
+  EXPECT_EQ(engine.explicit_aborts(), 0u);
+  // Each conditional explicit abort adds exactly one.
+  for (int i = 0; i < 2; ++i) {
+    engine.atomically([&](StmTxn& tx) {
+      if (tx.load(x) >= 3) tx.abort();
+      tx.store(x, std::uint64_t{0});
+    });
+  }
+  EXPECT_EQ(engine.explicit_aborts(), 2u);
+  // Single-threaded: no validation conflicts, so aborts() stays zero.
+  EXPECT_EQ(engine.aborts(), 0u);
+  EXPECT_EQ(x, 3u);
 }
 
 TEST(StmEngine, ConcurrentCountersLoseNoUpdates) {

@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Refresh BENCH_wallclock.json from a bench_throughput run and sanity-check
+# Refresh BENCH_wallclock.json from bench_throughput runs and sanity-check
 # the result.
 #
 # Usage: tools/bench_record.sh <bench_throughput-binary> [output.json] [args...]
 #
 # Extra args are forwarded to bench_throughput (e.g. --scale=12 for a CI
 # smoke run, or --fault=lossy-net to record recovery-path throughput).
+#
+# The recorded document is the sequential (--host-threads=1) run — its
+# per-row rates are what older recordings are comparable against — plus a
+# "parallel" block measuring the whole-sweep wall-clock at
+# --host-threads=1 and --host-threads=$BENCH_HOST_THREADS (default 4),
+# median of $BENCH_TRIALS trials (default 5), and the resulting speedup.
+# The simulated per-row fields of every trial must agree (the parallel
+# backend's determinism contract); a mismatch fails the recording.
+#
 # Exits non-zero when the binary fails or the JSON does not match the
-# aam-bench-wallclock-v3 schema (missing keys, empty results, or
+# aam-bench-wallclock-v4 schema (missing keys, empty results, or
 # non-positive throughput).
 set -euo pipefail
 
@@ -24,22 +33,54 @@ if [[ $# -ge 1 && "${1:0:2}" != "--" ]]; then
   shift
 fi
 
-"$bin" --json="$out" "$@"
+trials="${BENCH_TRIALS:-5}"
+par_threads="${BENCH_HOST_THREADS:-4}"
 
-python3 - "$out" <<'EOF'
-import json, sys
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
 
-path = sys.argv[1]
-with open(path) as f:
-    doc = json.load(f)
+for ((t = 0; t < trials; ++t)); do
+  "$bin" --json="$tmpdir/seq_$t.json" --host-threads=1 "$@" > /dev/null
+  "$bin" --json="$tmpdir/par_$t.json" --host-threads="$par_threads" "$@" \
+    > /dev/null
+done
+
+python3 - "$out" "$tmpdir" "$trials" "$par_threads" <<'EOF'
+import json, statistics, sys
+
+out_path, tmpdir, trials, par_threads = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]))
 
 def fail(msg):
-    print(f"bench_record: schema error in {path}: {msg}", file=sys.stderr)
+    print(f"bench_record: {msg}", file=sys.stderr)
     sys.exit(1)
 
-if doc.get("schema") != "aam-bench-wallclock-v3":
+def load(kind, t):
+    with open(f"{tmpdir}/{kind}_{t}.json") as f:
+        return json.load(f)
+
+def sim_rows(doc):
+    """The simulated (host-independent) projection of the results array."""
+    keys = ("algorithm", "mechanism", "elements", "sim_time_ns", "commits",
+            "aborts", "prediction_miss", "descents", "capacity_clamps")
+    return [{k: r[k] for k in keys} for r in doc["results"]]
+
+seq = [load("seq", t) for t in range(trials)]
+par = [load("par", t) for t in range(trials)]
+
+# Determinism gate: every trial at every host-thread count must agree on
+# every simulated field.
+reference = sim_rows(seq[0])
+for doc in seq + par:
+    if sim_rows(doc) != reference:
+        fail("simulated results differ across trials/host-thread counts "
+             "— the parallel backend broke determinism")
+
+doc = seq[0]
+if doc.get("schema") != "aam-bench-wallclock-v4":
     fail(f"unexpected schema {doc.get('schema')!r}")
-for key in ("scale", "machine", "threads", "fault", "results"):
+for key in ("scale", "machine", "threads", "host_threads", "wall_ms",
+            "fault", "results"):
     if key not in doc:
         fail(f"missing top-level key {key!r}")
 results = doc["results"]
@@ -57,7 +98,35 @@ for r in results:
         fail(f"non-positive throughput: {r}")
 if "auto" not in mechanisms:
     fail("no --mechanism=auto rows recorded")
-print(f"bench_record: {path} OK "
+
+seq_ms = statistics.median(d["wall_ms"] for d in seq)
+par_ms = statistics.median(d["wall_ms"] for d in par)
+speedup = round(seq_ms / par_ms, 3) if par_ms > 0 else 0
+parallel = (
+    '  "parallel": {\n'
+    f'    "trials": {trials},\n'
+    f'    "seq_wall_ms": {round(seq_ms, 3)},\n'
+    f'    "par_host_threads": {par_threads},\n'
+    f'    "par_wall_ms": {round(par_ms, 3)},\n'
+    f'    "speedup": {speedup}\n'
+    "  }\n"
+)
+# Splice the measured parallel block into the sequential run's own text:
+# downstream line-based consumers (tests/conflict_test.cpp) rely on the
+# bench's one-row-per-line formatting, which a JSON re-dump would destroy.
+with open(f"{tmpdir}/seq_0.json") as f:
+    text = f.read()
+tail = "  ]\n}\n"
+if not text.endswith(tail):
+    fail("unexpected bench JSON tail; cannot splice parallel block")
+text = text[: -len(tail)] + "  ],\n" + parallel + "}\n"
+json.loads(text)  # the spliced document must still parse
+with open(out_path, "w") as f:
+    f.write(text)
+
+print(f"bench_record: {out_path} OK "
       f"({len(results)} entries, scale={doc['scale']}, "
-      f"machine={doc['machine']}, fault={doc['fault']})")
+      f"machine={doc['machine']}, fault={doc['fault']}, "
+      f"wall {seq_ms:.0f}ms @1 -> {par_ms:.0f}ms @{par_threads} host "
+      f"threads, speedup {speedup}x over {trials} trials)")
 EOF

@@ -5,12 +5,25 @@
 # history; with --check=footprint the checker additionally folds every
 # committed word into an FNV digest inside each run).
 #
-# Usage: determinism_check.sh <binary> [args...]
+# Usage: determinism_check.sh [--host-threads-compare] <binary> [args...]
+#
+# With --host-threads-compare, the two runs differ only in the parallel
+# DES backend's worker count (--host-threads=1 vs --host-threads=4): the
+# byte-diff then proves the backend's contract that host parallelism
+# never changes simulated results. Use it with a bench whose output is
+# purely simulated time (e.g. bench_ablation_mechanisms) — wall-clock
+# columns would differ trivially.
 
 set -eu
 
+mode=same
+if [ "${1:-}" = "--host-threads-compare" ]; then
+  mode=host_threads
+  shift
+fi
+
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 <bench-binary> [args...]" >&2
+  echo "usage: $0 [--host-threads-compare] <bench-binary> [args...]" >&2
   exit 2
 fi
 
@@ -18,11 +31,18 @@ out_a=$(mktemp)
 out_b=$(mktemp)
 trap 'rm -f "$out_a" "$out_b"' EXIT
 
-"$@" > "$out_a"
-"$@" > "$out_b"
+if [ "$mode" = "host_threads" ]; then
+  "$@" --host-threads=1 > "$out_a"
+  "$@" --host-threads=4 > "$out_b"
+  label="--host-threads=1 vs --host-threads=4"
+else
+  "$@" > "$out_a"
+  "$@" > "$out_b"
+  label="two runs"
+fi
 
 if ! diff -u "$out_a" "$out_b"; then
-  echo "determinism_check: two identical invocations diverged: $*" >&2
+  echo "determinism_check: $label diverged: $*" >&2
   exit 1
 fi
-echo "determinism_check: identical output across two runs: $*"
+echo "determinism_check: identical output across $label: $*"
