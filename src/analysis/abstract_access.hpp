@@ -119,6 +119,8 @@ class Interpreter {
                                     regions_.back().label});
     path_reads_.emplace_back();
     path_writes_.emplace_back();
+    may_reads_.emplace_back();
+    may_writes_.emplace_back();
     chain_next_.push_back(regions_.back().chain_base);
     return static_cast<int>(regions_.size()) - 1;
   }
@@ -187,6 +189,18 @@ class Interpreter {
   bool widened() const { return widened_; }
   std::size_t paths() const { return paths_; }
   const std::vector<RegionEffect>& effects() const { return effects_; }
+
+  /// Union of the element indices read/written across *all* enumerated
+  /// paths, per region: the may-read/may-write effect sets. The
+  /// schedule-space model checker (src/mc/) consumes these as static
+  /// footprints for its DPOR commutativity check; the per-class counts in
+  /// effects() keep serving the cost/capacity predictions.
+  const std::set<std::size_t>& may_reads(int r) const {
+    return may_reads_[static_cast<std::size_t>(r)];
+  }
+  const std::set<std::size_t>& may_writes(int r) const {
+    return may_writes_[static_cast<std::size_t>(r)];
+  }
 
   // --- AbstractAccess support -------------------------------------------
 
@@ -279,6 +293,8 @@ class Interpreter {
   void fold_path() {
     for (std::size_t r = 0; r < regions_.size(); ++r) {
       RegionEffect& eff = effects_[r];
+      may_reads_[r].insert(path_reads_[r].begin(), path_reads_[r].end());
+      may_writes_[r].insert(path_writes_[r].begin(), path_writes_[r].end());
       std::size_t by_class[kNumIndexClasses] = {};
       for (std::size_t idx : path_reads_[r]) {
         ++by_class[static_cast<std::size_t>(regions_[r].classify(idx))];
@@ -313,6 +329,9 @@ class Interpreter {
   int budget_used_ = 0;  ///< non-terminating choices taken (widening)
   std::vector<std::set<std::size_t>> path_reads_;   ///< per region
   std::vector<std::set<std::size_t>> path_writes_;  ///< per region
+  // Cross-path unions (may-effect sets), folded alongside the maxima.
+  std::vector<std::set<std::size_t>> may_reads_;   ///< per region
+  std::vector<std::set<std::size_t>> may_writes_;  ///< per region
   std::vector<std::size_t> chain_next_;             ///< per region
   std::map<std::pair<int, std::size_t>, std::uint64_t> write_buffer_;
 

@@ -244,10 +244,88 @@ void DesMachine::run() {
   }
 }
 
+sim::ChoiceKind DesMachine::classify_choice(const sim::Event& e) const {
+  switch (e.kind) {
+    case kNext:
+      return sim::ChoiceKind::kNext;
+    case kCommit:
+      return e.payload == 0 ? sim::ChoiceKind::kCommitProbe
+                            : sim::ChoiceKind::kCommitFinal;
+    case kRetry:
+      // want_serialize is stable while the retry event is pending: only
+      // the thread's own dispatch mutates it, and the thread has exactly
+      // this one event in flight.
+      return threads_[e.thread]->want_serialize
+                 ? sim::ChoiceKind::kSerialAcquire
+                 : sim::ChoiceKind::kSpecRetry;
+    case kSerialCommit:
+      return sim::ChoiceKind::kSerialCommit;
+    case kCallback:
+      return sim::ChoiceKind::kCallback;
+  }
+  AAM_CHECK_MSG(false, "unclassifiable event kind");
+  return sim::ChoiceKind::kNext;
+}
+
+bool DesMachine::commit_would_conflict(std::uint32_t tid) const {
+  const auto& ts = *threads_[tid];
+  AAM_CHECK_MSG(ts.txn_inflight, "commit_would_conflict without a txn");
+  for (std::uint64_t unit : ts.tracker.read_units()) {
+    if (unit_stamps_[unit] > ts.start_stamp) return true;
+  }
+  for (std::uint64_t unit : ts.tracker.write_units()) {
+    if (unit_stamps_[unit] > ts.start_stamp) return true;
+  }
+  return false;
+}
+
+void DesMachine::run_controlled(sim::ScheduleController& controller) {
+  AAM_CHECK_MSG(!controlled_, "run_controlled is not reentrant");
+  controlled_ = true;
+  begin_external_run();
+  // The frontier persists across dispatches: events are drained from the
+  // queue exactly once (in deterministic pop order), so their relative
+  // order — and thus the meaning of a controller's index choices — never
+  // depends on heap internals.
+  std::vector<sim::Choice> frontier;
+  const auto drain = [&] {
+    while (!queue_.empty()) {
+      const sim::Event e = queue_.pop();
+      frontier.push_back(sim::Choice{e, classify_choice(e)});
+    }
+  };
+  drain();
+  while (true) {
+    if (frontier.empty()) {
+      if (!quiescence_ || !quiescence_(*this)) break;
+      AAM_CHECK_MSG(!queue_.empty(),
+                    "quiescence hook returned true without injecting work");
+      drain();
+      continue;
+    }
+    const std::size_t pick = controller.choose(frontier);
+    if (pick == sim::ScheduleController::kStopRun) break;
+    AAM_CHECK_MSG(pick < frontier.size(),
+                  "schedule controller chose an out-of-range event");
+    const sim::Event e = frontier[pick].event;
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    dispatch(e);
+    drain();
+  }
+  controlled_ = false;
+}
+
 void DesMachine::dispatch(const sim::Event& e) {
   ++events_processed_;
-  AAM_DCHECK(e.time >= now_);
-  now_ = e.time;
+  if (controlled_) {
+    // An external schedule controller may dispatch frontier events out of
+    // global time order; time only moves forward (each thread's own event
+    // chain stays monotone regardless of the interleaving).
+    now_ = std::max(now_, e.time);
+  } else {
+    AAM_DCHECK(e.time >= now_);
+    now_ = e.time;
+  }
   // Progress watchdog: with activities in flight, *something* must
   // complete every watchdog_ns of virtual time — otherwise the retry
   // machinery is livelocked (e.g. an abort storm with the retry cap
@@ -338,8 +416,13 @@ void DesMachine::attempt_speculative(std::uint32_t tid) {
 
   // Lock elision: a transaction cannot start while its domain's fallback
   // lock is held; it aborts immediately and retries after the release.
+  // The free_at refinement (lock released earlier in virtual time but the
+  // release not yet visible) is a timing-model detail: under controlled
+  // scheduling global time is schedule-inflated, so it would couple the
+  // interleaving back into abort *values* and break the model checker's
+  // footprint-based commutativity. Mutual exclusion is carried by `held`.
   SerialDomain& dom = domain_of(tid);
-  if (dom.held || dom.free_at > start) {
+  if (dom.held || (!controlled_ && dom.free_at > start)) {
     ++ts.stats.started;
     handle_abort(tid, AbortReason::kConflict, std::max(dom.free_at, start));
     return;
@@ -435,11 +518,15 @@ void DesMachine::on_commit(std::uint32_t tid, std::uint64_t is_final) {
 
   // First-committer-wins validation: any line in the footprint committed
   // by an overlapping transaction, atomic, or plain store aborts us.
+  // SeededBug::kSkipReadValidation drops the read-set half of this check —
+  // a planted defect the model checker's mutation fixtures must catch.
   bool conflict = false;
-  for (std::uint64_t unit : ts.tracker.read_units()) {
-    if (unit_stamps_[unit] > ts.start_stamp) {
-      conflict = true;
-      break;
+  if (seeded_bug_ != SeededBug::kSkipReadValidation) {
+    for (std::uint64_t unit : ts.tracker.read_units()) {
+      if (unit_stamps_[unit] > ts.start_stamp) {
+        conflict = true;
+        break;
+      }
     }
   }
   if (!conflict) {

@@ -43,6 +43,7 @@
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/schedule.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -253,6 +254,44 @@ class DesMachine {
   /// come from that shard's job.
   void bind_shard(sim::ShardId shard) { queue_.bind_shard(shard); }
 
+  // --- externally scheduled execution (model checker; sim/schedule.hpp) ----
+  //
+  // Instead of draining events in (time, seq) order, expose every pending
+  // event — the frontier of schedulable thread decision points — to a
+  // ScheduleController and dispatch whichever it picks. Global virtual
+  // time then only tracks the maximum dispatched timestamp (per-thread
+  // event chains stay monotone on their own), so cost accounting is
+  // schedule-dependent; the mc oracles are value-based and ignore time.
+  // run()/step() never take this path: uncontrolled runs dispatch
+  // bit-identical event sequences with or without this seam.
+
+  /// Drives the simulation to quiescence (or until the controller returns
+  /// kStopRun) with `controller` picking each dispatch. Not reentrant.
+  void run_controlled(sim::ScheduleController& controller);
+
+  /// True while run_controlled() is driving the machine.
+  bool controlled() const { return controlled_; }
+
+  /// Honest first-committer-wins validation of `tid`'s in-flight
+  /// speculative transaction, without side effects: true when some unit
+  /// of its footprint was committed after the attempt started. The mc
+  /// zombie-commit oracle compares this against what the engine (possibly
+  /// carrying a seeded bug) actually does at the commit event.
+  bool commit_would_conflict(std::uint32_t tid) const;
+
+  /// Deliberately planted engine defects for mutation testing of the
+  /// model checker (tests/mc_test.cpp). kNone (the default) is the
+  /// production engine: no seeded branch is ever taken.
+  enum class SeededBug : std::uint8_t {
+    kNone,
+    /// Commit validation skips the read set: transactions whose reads
+    /// were overwritten mid-flight commit anyway (lost serializability,
+    /// zombie commits).
+    kSkipReadValidation,
+  };
+  void set_seeded_bug(SeededBug bug) { seeded_bug_ = bug; }
+  SeededBug seeded_bug() const { return seeded_bug_; }
+
   /// Wake a parked thread; it resumes at max(its clock, machine time).
   void wake(std::uint32_t tid);
 
@@ -362,6 +401,7 @@ class DesMachine {
   };
 
   void dispatch(const sim::Event& e);
+  sim::ChoiceKind classify_choice(const sim::Event& e) const;
   void activate(std::uint32_t tid);      // call worker->next via kNext
   void on_next(std::uint32_t tid);
   void attempt_speculative(std::uint32_t tid);
@@ -438,6 +478,9 @@ class DesMachine {
 
   double now_ = 0;
   std::uint64_t events_processed_ = 0;
+
+  bool controlled_ = false;
+  SeededBug seeded_bug_ = SeededBug::kNone;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "htm/stm_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -50,8 +51,14 @@ std::uint64_t StmTxn::load_word(std::uintptr_t word_addr) {
   if (is_locked(pre) || version_of(pre) > snapshot_) {
     throw TxAbort{AbortReason::kConflict};
   }
-  std::uint64_t value;
-  std::memcpy(&value, reinterpret_cast<const void*>(word_addr), 8);
+  // Optimistic read raced against concurrent commit write-backs; the
+  // pre/post lock-word check discards any torn observation, but the load
+  // itself must be atomic for the race to be defined (atomic_ref<const T>
+  // is C++26, hence the non-const cast — the word is never written here).
+  const std::uint64_t value =
+      std::atomic_ref<std::uint64_t>(
+          *reinterpret_cast<std::uint64_t*>(word_addr))
+          .load(std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_acquire);
   const std::uint64_t post = lock.load(std::memory_order_acquire);
   if (post != pre) throw TxAbort{AbortReason::kConflict};
@@ -103,8 +110,12 @@ bool StmEngine::commit(StmTxn& txn) {
     }
   }
 
+  // Write-back races against other transactions' optimistic loads (their
+  // lock-word revalidation rejects what they saw); relaxed atomics keep
+  // that race defined, with ordering supplied by the fence + lock stores.
   txn.write_buffer_.for_each([](std::uintptr_t addr, std::uint64_t word) {
-    std::memcpy(reinterpret_cast<void*>(addr), &word, 8);
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(addr))
+        .store(word, std::memory_order_relaxed);
   });
   std::atomic_thread_fence(std::memory_order_release);
   for (std::uint32_t stripe : txn.write_stripes_) {

@@ -1,0 +1,51 @@
+#include "mc/trace.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace aam::mc {
+
+std::string format_trace(const Trace& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(trace[i].thread);
+    out.push_back(sim::code_of(trace[i].kind));
+  }
+  return out;
+}
+
+std::optional<Trace> parse_trace(const std::string& text) {
+  Trace trace;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('.', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string step = text.substr(pos, end - pos);
+    if (step.size() < 2) return std::nullopt;
+    for (std::size_t i = 0; i + 1 < step.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(step[i])) == 0) {
+        return std::nullopt;
+      }
+    }
+    const auto kind = sim::kind_from_code(step.back());
+    if (!kind.has_value()) return std::nullopt;
+    trace.push_back(Step{
+        static_cast<std::uint32_t>(
+            std::stoul(step.substr(0, step.size() - 1))),
+        *kind});
+    pos = end + 1;
+  }
+  return trace;
+}
+
+std::string pretty_trace(const Trace& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    os << "step " << (i + 1 < 10 ? " " : "") << (i + 1) << ": t"
+       << trace[i].thread << " " << sim::to_string(trace[i].kind) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aam::mc

@@ -1,0 +1,43 @@
+#pragma once
+
+// Schedule traces: the replayable identity of one explored interleaving.
+//
+// A trace is the sequence of decision points the controller dispatched,
+// each identified by (thread, ChoiceKind). Identity — not event-queue
+// index — is what replays: the frontier's composition at each step is a
+// deterministic function of the prefix, so matching (thread, kind)
+// against the live frontier re-executes the exact schedule. The textual
+// form is dot-separated `<thread><code>` steps ("0n.1n.1p.1c"), accepted
+// by `aam_mc --mc-replay=` and asserted verbatim by the mutation tests.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace aam::mc {
+
+/// One dispatched decision point, schedule-identity form.
+struct Step {
+  std::uint32_t thread = 0;
+  sim::ChoiceKind kind = sim::ChoiceKind::kNext;
+
+  bool operator==(const Step&) const = default;
+};
+
+using Trace = std::vector<Step>;
+
+/// "0n.1n.1p.1c" — the compact replayable form.
+std::string format_trace(const Trace& trace);
+
+/// Inverse of format_trace; nullopt on any malformed step.
+std::optional<Trace> parse_trace(const std::string& text);
+
+/// Multi-line human-readable schedule, one step per line:
+///   step  1: t0 next
+///   step  2: t1 commit-final
+std::string pretty_trace(const Trace& trace);
+
+}  // namespace aam::mc

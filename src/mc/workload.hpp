@@ -1,0 +1,167 @@
+#pragma once
+
+// Model-checking workloads: tiny multi-threaded transactional programs
+// (2–4 simulated threads, 2–6 transactions over a handful of sim-heap
+// words) whose full schedule space the explorer enumerates.
+//
+// A workload is a per-thread list of transactions; each transaction is a
+// straight-line list of word-level operations interpreted against the
+// mechanism-neutral access surface (so the same program runs under every
+// executor, the serial-reference interpreter, and the PR 4 abstract
+// interpreter). Three things are derived from the same op lists:
+//
+//   * execution     — McWorker stages each txn as one executor batch;
+//   * serial oracle — every program-order-respecting serial interleaving
+//                     of whole transactions, evaluated on a scratch word
+//                     array; the set of reachable (finals, emissions)
+//                     outcomes is the serializability reference;
+//   * footprints    — per-thread may-read/may-write word sets via
+//                     analysis::Interpreter (the static effect signatures
+//                     the DPOR commutativity check keys on).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aam::mc {
+
+enum class OpKind : std::uint8_t {
+  kLoadEmit,     ///< emit(w[a])
+  kStoreImm,     ///< w[a] = imm
+  kAddImm,       ///< w[a] += imm (fetch_add)
+  kCopyAdd,      ///< w[a] = w[b] + imm
+  kCasEmit,      ///< emit(cas(w[a], imm -> imm2) ? 1 : 0)
+  kDeliverOnce,  ///< if (w[a]!=0 && w[b]==0) { w[b]=1; w[c]+=imm; w[d]=1;
+                 ///<   emit(1) } else emit(0)   (a=msg b=guard c=data d=ack)
+};
+
+struct McOp {
+  OpKind kind = OpKind::kAddImm;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t d = 0;
+  std::uint64_t imm = 0;
+  std::uint64_t imm2 = 0;
+};
+
+struct McTxn {
+  std::vector<McOp> ops;
+  /// Trylock give-up: before staging this txn, if the thread's most
+  /// recent emission was 0 (or it never emitted), the thread terminates
+  /// instead — deliberately, so it still counts as completed.
+  bool skip_if_last_emit_zero = false;
+};
+
+struct McThreadProgram {
+  std::vector<McTxn> txns;
+};
+
+/// The value-level result of one complete run: final word values plus the
+/// per-thread committed emission sequences. Virtual time is deliberately
+/// absent — it is schedule-dependent under controlled execution.
+struct Outcome {
+  std::vector<std::uint64_t> finals;
+  std::vector<std::vector<std::uint64_t>> emits;  ///< per thread
+
+  bool operator==(const Outcome&) const = default;
+};
+
+/// Canonical one-line rendering ("w0=1 w1=2 | t0:1 t1:-"), used as the
+/// set key for serial-outcome membership and in violation reports.
+std::string canonical(const Outcome& outcome);
+
+/// Per-thread static footprint over the workload's word indices,
+/// union across all of the thread's transactions and all abstract paths.
+struct ThreadFootprint {
+  std::uint64_t reads = 0;   ///< bitmask, bit i = word i
+  std::uint64_t writes = 0;
+};
+
+struct McWorkload {
+  std::string name;
+  std::string description;
+  std::uint32_t num_words = 0;  ///< <= 64 (footprints are bitmasks)
+  std::vector<std::uint64_t> init;  ///< initial word values (num_words)
+  std::vector<McThreadProgram> threads;
+  /// Commutative-increment workloads: a serializability failure here is
+  /// reported as a lost update (the classic symptom).
+  bool commutative = false;
+  /// Extra oracle: nullopt = holds, otherwise the violation description.
+  /// Checked against every explored schedule's outcome; spec programs
+  /// must satisfy it under *all* interleavings.
+  std::function<std::optional<std::string>(const Outcome&)> invariant;
+};
+
+/// Deliberate workload-level defects (engine-level ones live in
+/// htm::DesMachine::SeededBug). Each names the classic bug its fixture
+/// plants; make_workload applies the mutation to the relevant program.
+enum class Mutation : std::uint8_t {
+  kNone,
+  kLockEarlyRelease,     ///< lock-protocol: release before the write-back
+  kSkipReadValidation,   ///< engine bug (runner arms the DES seam)
+  kDroppedAck,           ///< ack-protocol: dedup keyed on the cleared ack
+};
+
+const char* to_string(Mutation mutation);
+std::optional<Mutation> parse_mutation(const std::string& name);
+std::string mutation_names();
+
+/// Workload registry: "disjoint", "counter", "counter3", "cross",
+/// "lock-protocol", "ack-protocol", "auto-escalate", "auto-window".
+std::vector<std::string> workload_names();
+McWorkload make_workload(const std::string& name,
+                         Mutation mutation = Mutation::kNone);
+
+/// Every outcome reachable by some program-order-respecting serial
+/// interleaving of whole transactions, keyed by canonical().
+std::set<std::string> serial_outcomes(const McWorkload& workload);
+
+/// Static per-thread footprints via the PR 4 abstract interpreter.
+std::vector<ThreadFootprint> thread_footprints(const McWorkload& workload);
+
+/// Trylock give-up semantics, shared between the serial-outcome
+/// enumeration and the live McWorker: a skip-flagged txn terminates the
+/// thread when its last committed emission was 0 (or it never emitted).
+bool txn_gives_up(const McTxn& txn, const std::vector<std::uint64_t>& emits);
+
+/// Interprets one op against any access surface with the typed
+/// load/store/cas/fetch_add/emit interface (executor Access, the serial
+/// reference, analysis::AbstractAccess). `words` is the workload's word
+/// array base.
+template <typename Acc>
+void apply_op(const McOp& op, Acc& acc, std::uint64_t* words) {
+  switch (op.kind) {
+    case OpKind::kLoadEmit:
+      acc.emit(acc.load(words[op.a]));
+      break;
+    case OpKind::kStoreImm:
+      acc.store(words[op.a], op.imm);
+      break;
+    case OpKind::kAddImm:
+      acc.fetch_add(words[op.a], op.imm);
+      break;
+    case OpKind::kCopyAdd:
+      acc.store(words[op.a], acc.load(words[op.b]) + op.imm);
+      break;
+    case OpKind::kCasEmit:
+      acc.emit(acc.cas(words[op.a], op.imm, op.imm2) ? std::uint64_t{1}
+                                                     : std::uint64_t{0});
+      break;
+    case OpKind::kDeliverOnce:
+      if (acc.load(words[op.a]) != 0 && acc.load(words[op.b]) == 0) {
+        acc.store(words[op.b], std::uint64_t{1});
+        acc.fetch_add(words[op.c], op.imm);
+        acc.store(words[op.d], std::uint64_t{1});
+        acc.emit(1);
+      } else {
+        acc.emit(0);
+      }
+      break;
+  }
+}
+
+}  // namespace aam::mc

@@ -1,0 +1,112 @@
+#pragma once
+
+// Schedule-controller seam for the model checker (src/mc/; DESIGN.md §11).
+//
+// A DesMachine normally drains its event queue in deterministic
+// (time, seq) order. Under run_controlled() the machine instead exposes
+// the *frontier* — every pending event, i.e. every runnable simulated
+// thread's next decision point — to an external ScheduleController and
+// dispatches whichever one the controller picks. Because each engine
+// thread keeps at most one event in flight (kNext → commit-probe →
+// commit-final → kNext chains; see des_engine.cpp), the frontier is
+// exactly the set of schedulable thread transitions, so a controller
+// enumerates thread interleavings the way a stateless model checker
+// needs to.
+//
+// The seam is inert when unused: run()/step() never consult it and
+// dispatch order is bit-identical to builds without it.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sim/event_queue.hpp"
+
+namespace aam::sim {
+
+/// What dispatching a frontier event would do — the decision-point
+/// vocabulary of schedule traces. Mirrors the DES engine's event kinds,
+/// with kRetry split by the pending thread's serialize intent (stable
+/// while the event is pending: only the thread's own dispatch flips it).
+enum class ChoiceKind : std::uint8_t {
+  kNext,           ///< run the thread's next activity (stage/execute)
+  kCommitProbe,    ///< mid-flight validation of a speculative txn
+  kCommitFinal,    ///< commit point of a speculative txn
+  kSpecRetry,      ///< re-run an aborted txn speculatively
+  kSerialAcquire,  ///< take the fallback lock and run irrevocably
+  kSerialCommit,   ///< release the fallback lock, publish writes
+  kCallback,       ///< scheduled host callback (network delivery etc.)
+};
+
+/// Trace code letter, e.g. '0n' = thread 0 kNext. Stable: committed mc
+/// golden traces depend on these spellings.
+char code_of(ChoiceKind kind);
+
+/// Human-readable name ("commit-final", ...) for pretty-printed traces.
+const char* to_string(ChoiceKind kind);
+
+/// Inverse of code_of; nullopt for an unknown letter.
+std::optional<ChoiceKind> kind_from_code(char code);
+
+/// One schedulable decision point: a pending event plus its
+/// classification at the instant the frontier was assembled.
+struct Choice {
+  Event event;
+  ChoiceKind kind = ChoiceKind::kNext;
+
+  std::uint32_t thread() const { return event.thread; }
+};
+
+/// Picks which frontier decision point the machine dispatches next.
+/// `ready` is never empty and its order is deterministic (event-queue
+/// drain order). Return kStopRun to end the run early; the machine is
+/// left mid-schedule (useful for probing frontiers and bounded replay).
+class ScheduleController {
+ public:
+  static constexpr std::size_t kStopRun = static_cast<std::size_t>(-1);
+
+  virtual ~ScheduleController() = default;
+  virtual std::size_t choose(std::span<const Choice> ready) = 0;
+};
+
+inline char code_of(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kNext: return 'n';
+    case ChoiceKind::kCommitProbe: return 'p';
+    case ChoiceKind::kCommitFinal: return 'c';
+    case ChoiceKind::kSpecRetry: return 'r';
+    case ChoiceKind::kSerialAcquire: return 's';
+    case ChoiceKind::kSerialCommit: return 'S';
+    case ChoiceKind::kCallback: return 'k';
+  }
+  return '?';
+}
+
+inline const char* to_string(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kNext: return "next";
+    case ChoiceKind::kCommitProbe: return "commit-probe";
+    case ChoiceKind::kCommitFinal: return "commit-final";
+    case ChoiceKind::kSpecRetry: return "spec-retry";
+    case ChoiceKind::kSerialAcquire: return "serial-acquire";
+    case ChoiceKind::kSerialCommit: return "serial-commit";
+    case ChoiceKind::kCallback: return "callback";
+  }
+  return "?";
+}
+
+inline std::optional<ChoiceKind> kind_from_code(char code) {
+  switch (code) {
+    case 'n': return ChoiceKind::kNext;
+    case 'p': return ChoiceKind::kCommitProbe;
+    case 'c': return ChoiceKind::kCommitFinal;
+    case 'r': return ChoiceKind::kSpecRetry;
+    case 's': return ChoiceKind::kSerialAcquire;
+    case 'S': return ChoiceKind::kSerialCommit;
+    case 'k': return ChoiceKind::kCallback;
+  }
+  return std::nullopt;
+}
+
+}  // namespace aam::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+// Known-bad fixture for lint pass 5: iterating an unordered container.
+// Hash-table order varies across standard-library versions and run
+// history, so both loops below are determinism bugs.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+inline std::uint64_t sum_degrees(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& degrees) {
+  std::uint64_t total = 0;
+  for (const auto& kv : degrees) {
+    total += kv.second;
+  }
+  return total;
+}
+
+inline std::uint64_t first_member(const std::unordered_set<std::uint64_t>& s) {
+  return s.empty() ? 0 : *s.begin();
+}

@@ -1,0 +1,29 @@
+#pragma once
+
+// Known-good fixture for lint pass 5: lookups into unordered containers
+// are order-insensitive and always fine; the one deliberate iteration
+// drains into a sorted vector before any order-sensitive use and carries
+// the allow marker.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+inline std::uint64_t lookup(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& index,
+    std::uint64_t key) {
+  const auto it = index.find(key);
+  return it == index.end() ? 0 : it->second;
+}
+
+inline std::vector<std::uint64_t> sorted_keys(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& index) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index.size());
+  for (const auto& kv : index) {  // lint:allow-unordered-iter
+    keys.push_back(kv.first);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

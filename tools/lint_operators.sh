@@ -39,9 +39,21 @@
 # threaded execution baseline, the bench harnesses) annotates the line
 # with a `lint:allow-wallclock` comment marker.
 #
+# Pass 5 — unordered-container iteration. std::unordered_map/set iterate
+# in hash-table order, which varies with libstdc++ version, load factor
+# history, and pointer values: any simulated-state or output-producing
+# loop over one is a determinism bug of exactly the kind the golden
+# snapshots exist to catch. After stripping comments, flags range-for
+# loops and .begin()/.cbegin()/.rbegin() calls on any identifier declared
+# as std::unordered_map/std::unordered_set anywhere in src/ (lookups are
+# fine — only iteration is order-sensitive). The rare legitimate
+# iteration (e.g. draining into a sorted vector before use) is annotated
+# with a `lint:allow-unordered-iter` comment marker.
+#
 # Usage: lint_operators.sh [file...]
-#   With no arguments, passes 1-2 lint src/algorithms/*.cpp and *.hpp and
-#   pass 3 lints every src/**/*.cpp|hpp outside src/sim/.
+#   With no arguments, passes 1-2 lint src/algorithms/*.cpp and *.hpp,
+#   pass 3 lints every src/**/*.cpp|hpp outside src/sim/, and pass 5
+#   lints every src/**/*.cpp|hpp.
 #   With arguments, all passes lint exactly those files (used by the
 #   self-test: tools/lint_operators_selftest.sh runs this against
 #   known-good and known-bad fixtures in tools/lint_fixtures/).
@@ -187,11 +199,82 @@ for f in "$@"; do
   ' "$f" || status=1
 done
 
+# Pass 5 file set: the explicit arguments, or everything under src/
+# (hash-order nondeterminism is a bug in the DES core too).
+if [ "$explicit_files" -eq 0 ]; then
+  set -- $(find src -name '*.cpp' -o -name '*.hpp' | sort)
+fi
+
+for f in "$@"; do
+  # Two reads of the same file: the first collects every identifier
+  # declared with an unordered container type, the second flags iteration
+  # over any of them (plus range-fors whose range expression spells an
+  # unordered type directly).
+  awk '
+    NR == FNR {
+      line = $0
+      sub(/\/\/.*/, "", line)
+      while (match(line, /std::unordered_(map|set)[ \t]*</)) {
+        rest = substr(line, RSTART + RLENGTH)
+        depth = 1
+        i = 1
+        while (i <= length(rest) && depth > 0) {
+          c = substr(rest, i, 1)
+          if (c == "<") depth++
+          else if (c == ">") depth--
+          i++
+        }
+        rest = substr(rest, i)
+        if (match(rest, /^[ \t]*&?[ \t]*[A-Za-z_][A-Za-z0-9_]*/)) {
+          name = substr(rest, RSTART, RLENGTH)
+          gsub(/[ \t&]/, "", name)
+          names[name] = 1
+        }
+        line = rest
+      }
+      next
+    }
+    FNR == 1 { inblock = 0 }
+    {
+      raw = $0
+      line = $0
+      if (inblock) {
+        i = index(line, "*/")
+        if (i == 0) next
+        line = substr(line, i + 2)
+        inblock = 0
+      }
+      while ((s = index(line, "/*")) > 0) {
+        e = index(substr(line, s + 2), "*/")
+        if (e == 0) { line = substr(line, 1, s - 1); inblock = 1; break }
+        line = substr(line, 1, s - 1) substr(line, s + e + 3)
+      }
+      sub(/\/\/.*/, "", line)
+      if (raw ~ /lint:allow-unordered-iter/) next
+      hit = 0
+      if (line ~ /for[ \t]*\([^;]*:[ \t]*[^;]*unordered_(map|set)/) hit = 1
+      for (n in names) {
+        if (line ~ ("for[ \t]*\\([^;]*:[ \t]*\\*?" n "[ \t]*\\)") ||
+            line ~ ("(^|[^A-Za-z0-9_.])" n "[ \t]*\\.[ \t]*c?r?begin[ \t]*\\(")) {
+          hit = 1
+        }
+      }
+      if (hit) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        bad = 1
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$f" "$f" || status=1
+done
+
 if [ "$status" -ne 0 ]; then
   echo "lint_operators: operator bodies must route mutations through the" >&2
   echo "access surface (access.store/cas/fetch_add), take it as a templated" >&2
-  echo "Acc& parameter (never core::Access& directly), and simulated code" >&2
-  echo "must draw time/randomness from the DES clock and util::Rng, not the" >&2
-  echo "host (mark intentional host-time reads with lint:allow-wallclock)" >&2
+  echo "Acc& parameter (never core::Access& directly), simulated code must" >&2
+  echo "draw time/randomness from the DES clock and util::Rng, not the host" >&2
+  echo "(mark intentional host-time reads with lint:allow-wallclock), and" >&2
+  echo "src/ must never iterate an unordered container (hash order is not" >&2
+  echo "deterministic; mark exceptions with lint:allow-unordered-iter)" >&2
 fi
 exit "$status"

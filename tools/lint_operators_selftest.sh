@@ -39,6 +39,14 @@ if ! "$lint" "$fixtures/good_mechanism_marker.cpp"; then
   echo "FAIL: good_mechanism_marker.cpp rejected (allow marker broken)" >&2
   fail=1
 fi
+if "$lint" "$fixtures/bad_unordered_iter.hpp" >/dev/null 2>&1; then
+  echo "FAIL: bad_unordered_iter.hpp accepted (unordered-iter pass broken)" >&2
+  fail=1
+fi
+if ! "$lint" "$fixtures/good_unordered_marker.hpp"; then
+  echo "FAIL: good_unordered_marker.hpp rejected (lookup or marker broken)" >&2
+  fail=1
+fi
 # The real tree must still be clean under both passes.
 if ! "$lint"; then
   echo "FAIL: src/algorithms/ no longer passes the lint" >&2
