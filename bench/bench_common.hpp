@@ -21,6 +21,7 @@
 #include "mem/sim_heap.hpp"
 #include "model/machines.hpp"
 #include "net/cluster.hpp"
+#include "recovery/manager.hpp"
 #include "sim/shard.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -96,8 +97,11 @@ class ScopedChecker {
 /// Scope-bound fault injection for one simulated run (--fault=<spec>).
 /// Parses the spec against the machine's calibrated FaultProfile, builds a
 /// fault::FaultInjector seeded like the run, and attaches it for the
-/// scope's lifetime. With --fault=none (or any spec whose plan is inert)
-/// nothing is installed and the run is bit-identical to a hook-free build.
+/// scope's lifetime. Crash plans additionally install a
+/// recovery::RecoveryManager (interval from crash.ckpt) so injected
+/// crash-stops restore from the last checkpoint instead of aborting the
+/// bench. With --fault=none (or any spec whose plan is inert) nothing is
+/// installed and the run is bit-identical to a hook-free build.
 class ScopedFault {
  public:
   ScopedFault(htm::DesMachine& machine, const std::string& spec,
@@ -108,6 +112,10 @@ class ScopedFault {
       injector_ = std::make_unique<fault::FaultInjector>(
           plan_, seed, machine.num_threads());
       injector_->attach(machine);
+    }
+    if (plan_.crash_active()) {
+      recovery_ = std::make_unique<recovery::RecoveryManager>(
+          machine, recovery::RecoveryOptions{plan_.crash_ckpt_ns});
     }
   }
 
@@ -123,12 +131,19 @@ class ScopedFault {
           plan_, seed, machine_->num_threads(), cluster.threads_per_node());
       injector_->attach(cluster);
     }
+    if (plan_.crash_active()) {
+      recovery_ = std::make_unique<recovery::RecoveryManager>(
+          cluster, recovery::RecoveryOptions{plan_.crash_ckpt_ns});
+    }
   }
 
   ScopedFault(const ScopedFault&) = delete;
   ScopedFault& operator=(const ScopedFault&) = delete;
 
   ~ScopedFault() {
+    // The manager unregisters itself from the machine; drop it before the
+    // hooks so no checkpoint can fire on a hook-less machine.
+    recovery_.reset();
     if (injector_ == nullptr) return;
     machine_->set_fault_hook(nullptr);
     if (cluster_ != nullptr) cluster_->set_fault_hook(nullptr);
@@ -137,12 +152,15 @@ class ScopedFault {
   const fault::FaultPlan& plan() const { return plan_; }
   /// nullptr when the plan is inert ("none").
   fault::FaultInjector* injector() { return injector_.get(); }
+  /// nullptr unless the plan has crash-stop faults.
+  recovery::RecoveryManager* recovery() { return recovery_.get(); }
 
  private:
   htm::DesMachine* machine_ = nullptr;
   net::Cluster* cluster_ = nullptr;
   fault::FaultPlan plan_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
 };
 
 /// Read --fault=<spec> and syntax-check it up front so a malformed spec

@@ -231,7 +231,8 @@ struct DistCell {
   std::vector<double> rank;
   net::NetStats net;
   htm::HtmStats stats;
-  std::string protocol_error;  ///< "" when the exact accounting holds
+  recovery::RecoveryStats rec;  ///< zeroes when the plan has no crashes
+  std::string protocol_error;   ///< "" when the exact accounting holds
 };
 
 DistCell run_dist_cell(const model::MachineConfig& config,
@@ -250,20 +251,27 @@ DistCell run_dist_cell(const model::MachineConfig& config,
   cell.rank = r.rank;
   cell.net = r.net;
   cell.stats = r.stats;
+  if (fault.recovery() != nullptr) cell.rec = fault.recovery()->stats();
   char buf[160];
   if (cluster.in_flight() != 0) {
     std::snprintf(buf, sizeof(buf), "quiescence violated: %llu in flight",
                   static_cast<unsigned long long>(cluster.in_flight()));
     cell.protocol_error = buf;
   } else if (fault.injector() != nullptr && fault.injector()->net_active()) {
+    // NetStats counters are rolled back with every restore; the injector's
+    // counters never forget. Exact accounting across crash/restore:
+    // injected == surviving-timeline NetStats + rolled_back_* deltas.
     const auto& inj = fault.injector()->injected();
-    if (cell.net.dropped != inj.net_dropped ||
-        cell.net.duplicated != inj.net_duplicated) {
+    if (cell.net.dropped + cell.rec.rolled_back_dropped != inj.net_dropped ||
+        cell.net.duplicated + cell.rec.rolled_back_duplicated !=
+            inj.net_duplicated) {
       std::snprintf(buf, sizeof(buf),
                     "inexact accounting: dropped %llu/%llu dup %llu/%llu",
-                    static_cast<unsigned long long>(cell.net.dropped),
+                    static_cast<unsigned long long>(
+                        cell.net.dropped + cell.rec.rolled_back_dropped),
                     static_cast<unsigned long long>(inj.net_dropped),
-                    static_cast<unsigned long long>(cell.net.duplicated),
+                    static_cast<unsigned long long>(
+                        cell.net.duplicated + cell.rec.rolled_back_duplicated),
                     static_cast<unsigned long long>(inj.net_duplicated));
       cell.protocol_error = buf;
     } else if (cell.net.acked != cell.net.messages_sent) {
@@ -271,9 +279,30 @@ DistCell run_dist_cell(const model::MachineConfig& config,
                     static_cast<unsigned long long>(cell.net.acked),
                     static_cast<unsigned long long>(cell.net.messages_sent));
       cell.protocol_error = buf;
+    } else if (cell.rec.crashes != inj.crashes) {
+      std::snprintf(buf, sizeof(buf),
+                    "crash accounting: recovered=%llu injected=%llu",
+                    static_cast<unsigned long long>(cell.rec.crashes),
+                    static_cast<unsigned long long>(inj.crashes));
+      cell.protocol_error = buf;
     }
   }
   return cell;
+}
+
+/// Deterministic recovery-telemetry suffix for crash cells ("" otherwise).
+/// recovery_wall_ms is host wall time and deliberately excluded: the
+/// binary's stdout is the determinism oracle of tools/fault_sweep.sh.
+std::string recovery_suffix(const recovery::RecoveryStats* rec) {
+  if (rec == nullptr) return "";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                " [crashes=%llu ckpts=%llu lost=%.0fns replayed=%llu]",
+                static_cast<unsigned long long>(rec->crashes),
+                static_cast<unsigned long long>(rec->checkpoints),
+                rec->lost_work_ns,
+                static_cast<unsigned long long>(rec->replayed_sends));
+  return buf;
 }
 
 }  // namespace
@@ -384,13 +413,29 @@ int main(int argc, char** argv) {
           bench::ScopedFault fault(machine, scenario, seed);
           const Projection got =
               run_cell(machine, in, algo, cell.mech, seed, policy);
-          const std::string diff = compare(base, got);
+          std::string diff = compare(base, got);
+          if (diff.empty() && fault.recovery() != nullptr) {
+            // Every injected crash-stop must have been recovered from.
+            const auto& rec = fault.recovery()->stats();
+            const auto fired = fault.injector()->injected().crashes;
+            if (rec.crashes != fired) {
+              char buf[96];
+              std::snprintf(buf, sizeof(buf),
+                            "crash accounting: recovered=%llu injected=%llu",
+                            static_cast<unsigned long long>(rec.crashes),
+                            static_cast<unsigned long long>(fired));
+              diff = buf;
+            }
+          }
           const bool ok = diff.empty();
           if (!ok) ++failures;
-          std::printf("%-5s %-8s %-13s %-12s %s%s%s\n",
+          const std::string rec_suffix = recovery_suffix(
+              fault.recovery() != nullptr ? &fault.recovery()->stats()
+                                          : nullptr);
+          std::printf("%-5s %-8s %-13s %-12s %s%s%s%s\n",
                       setup.config->name.c_str(), algo.c_str(), cell.label,
                       scenario.c_str(), ok ? "OK" : "MISMATCH",
-                      ok ? "" : ": ", diff.c_str());
+                      ok ? "" : ": ", diff.c_str(), rec_suffix.c_str());
         }
       }
     }
@@ -414,15 +459,20 @@ int main(int argc, char** argv) {
         }
         const bool ok = diff.empty();
         if (!ok) ++failures;
+        const std::string rec_suffix =
+            recovery_suffix(got.rec.crashes + got.rec.checkpoints > 0
+                                ? &got.rec
+                                : nullptr);
         std::printf(
             "%-5s %-8s %-13s %-12s %s%s%s (dropped=%llu dup=%llu "
-            "retx=%llu deduped=%llu)\n",
+            "retx=%llu deduped=%llu)%s\n",
             setup.config->name.c_str(), "pr-dist", "am", scenario.c_str(),
             ok ? "OK" : "MISMATCH", ok ? "" : ": ", diff.c_str(),
             static_cast<unsigned long long>(got.net.dropped),
             static_cast<unsigned long long>(got.net.duplicated),
             static_cast<unsigned long long>(got.net.retransmitted),
-            static_cast<unsigned long long>(got.net.dedup_discarded));
+            static_cast<unsigned long long>(got.net.dedup_discarded),
+            rec_suffix.c_str());
       }
     }
   }

@@ -7,7 +7,7 @@
 // afford. Element counts are deterministic properties of the run (edges
 // scanned, relaxations, ...), so elements/sec moves only with host-side
 // cost per access: exactly the executor/footprint hot path this metric
-// exists to track. Output is JSON (schema aam-bench-wallclock-v4) so CI
+// exists to track. Output is JSON (schema aam-bench-wallclock-v5) so CI
 // can diff runs; tools/bench_record.sh wraps this into BENCH_wallclock.json.
 // --host-threads=N runs the independent (algorithm, mechanism) cells on N
 // host workers via the parallel DES backend; results are identical at any
@@ -23,7 +23,11 @@
 // every run, so CI can compare the simulator's host throughput with and
 // without recovery machinery active. The "pagerank-dist" row runs on a
 // 4-node Cluster specifically so network scenarios (lossy-net) have a
-// substrate to act on.
+// substrate to act on. Crash scenarios additionally record the
+// recovery telemetry per row (checkpoints, crashes, replayed sends,
+// lost simulated work, snapshot bytes, rolled-back NetStats deltas) —
+// all simulated-schedule-derived, so they participate in the
+// determinism gate; recovery *wall* time is host noise and excluded.
 
 #include <algorithm>
 #include <chrono>
@@ -220,7 +224,7 @@ int main(int argc, char** argv) {
       config, kind, analysis::workload_from_graph(wg, threads, batch));
 
   std::string json = "{\n";
-  json += "  \"schema\": \"aam-bench-wallclock-v4\",\n";
+  json += "  \"schema\": \"aam-bench-wallclock-v5\",\n";
   json += "  \"scale\": " + std::to_string(scale) + ",\n";
   json += "  \"edge_factor\": " + std::to_string(edge_factor) + ",\n";
   json += "  \"machine\": \"" + config.name + "\",\n";
@@ -265,6 +269,7 @@ int main(int argc, char** argv) {
     double sim_time_ns = 0;
     htm::HtmStats stats;
     core::AutoTelemetry tele;
+    recovery::RecoveryStats rec;  ///< zeroes unless the plan crashes
   };
   std::vector<Cell> cells;
   for (const Algo& algo : kAlgos) {
@@ -301,6 +306,7 @@ int main(int argc, char** argv) {
         const double seconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
         if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+        if (fault.recovery() != nullptr) res.rec = fault.recovery()->stats();
       }
       res.algorithm = algo.name;
       res.mechanism = sel.label;
@@ -332,6 +338,7 @@ int main(int argc, char** argv) {
       const double seconds =
           std::chrono::duration<double>(Clock::now() - t0).count();
       if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      if (fault.recovery() != nullptr) res.rec = fault.recovery()->stats();
       elements = static_cast<std::uint64_t>(o.iterations) *
                  (g.num_edges() + g.num_vertices());
     }
@@ -372,7 +379,16 @@ int main(int argc, char** argv) {
             ", \"prediction_miss\": " + std::to_string(res.tele.prediction_miss) +
             ", \"descents\": " + std::to_string(res.tele.descents) +
             ", \"capacity_clamps\": " +
-            std::to_string(res.tele.capacity_clamps) + "}";
+            std::to_string(res.tele.capacity_clamps) +
+            ", \"checkpoints\": " + std::to_string(res.rec.checkpoints) +
+            ", \"crashes\": " + std::to_string(res.rec.crashes) +
+            ", \"replayed_sends\": " + std::to_string(res.rec.replayed_sends) +
+            ", \"lost_work_ns\": " + json_escape_double(res.rec.lost_work_ns) +
+            ", \"snapshot_bytes\": " + std::to_string(res.rec.snapshot_bytes) +
+            ", \"rolled_back_dropped\": " +
+            std::to_string(res.rec.rolled_back_dropped) +
+            ", \"rolled_back_duplicated\": " +
+            std::to_string(res.rec.rolled_back_duplicated) + "}";
   }
   json += "\n  ]\n}\n";
 

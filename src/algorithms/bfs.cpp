@@ -6,6 +6,8 @@
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "graph/gstats.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 
 namespace aam::algorithms {
@@ -79,6 +81,21 @@ class BfsWorker : public htm::Worker {
       return true;
     }
     return false;  // level finished for this thread
+  }
+
+  // Checkpoint support: everything that survives across dispatches.
+  // batch_ is only live while a staged transaction is in flight, which
+  // checkpoint-safe instants exclude.
+  void save(util::BlobWriter& w) const {
+    w.put_vector(pending_);
+    w.put_vector(next_frontier_);
+    w.put<std::uint8_t>(done_scanning_ ? 1 : 0);
+  }
+  void restore(util::BlobReader& r) {
+    pending_ = r.get_vector<Candidate>();
+    next_frontier_ = r.get_vector<Vertex>();
+    done_scanning_ = r.get<std::uint8_t>() != 0;
+    batch_.clear();
   }
 
  private:
@@ -208,6 +225,38 @@ BfsResult run_bfs(htm::DesMachine& machine, const graph::Graph& graph,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  // Crash recovery (src/recovery/): snapshot the host-side driver state
+  // alongside the engine — frontier management, per-worker queues, the
+  // executor's control state, and the result fields the quiescence hook
+  // mutates. No-op when no recovery client is installed.
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put_vector(state.frontier);
+             w.put_vector(state.prefix);
+             w.put<std::uint64_t>(state.edges_scanned);
+             w.put_vector(result.level_times_ns);
+             w.put<std::uint64_t>(result.vertices_visited);
+             w.put<double>(level_start);
+             executor->save_state(w);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             state.frontier = r.get_vector<Vertex>();
+             state.prefix = r.get_vector<std::uint64_t>();
+             state.edges_scanned = r.get<std::uint64_t>();
+             result.level_times_ns = r.get_vector<double>();
+             result.vertices_visited = r.get<std::uint64_t>();
+             level_start = r.get<double>();
+             executor->restore_state(r);
+             for (auto& wk : workers) wk->restore(r);
+           }});
 
   machine.run();
   machine.set_quiescence_hook(nullptr);

@@ -7,6 +7,8 @@
 #include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 
 namespace aam::algorithms {
@@ -49,6 +51,26 @@ class BoruvkaWorker : public htm::Worker {
 
   bool next(htm::ThreadCtx& ctx) override {
     return state_.scanning_phase ? scan_step(ctx) : merge_step(ctx);
+  }
+
+  // Checkpoint support; batch_ is never live at a safe instant.
+  // (std::pair is not trivially copyable, so the entries go field-wise.)
+  void save(util::BlobWriter& w) const {
+    w.put<std::uint64_t>(min_edges_.size());
+    for (const auto& [root, edge] : min_edges_) {
+      w.put<Vertex>(root);
+      w.put<MergeEdge>(edge);
+    }
+  }
+  void restore(util::BlobReader& r) {
+    min_edges_.clear();
+    const auto count = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto root = r.get<Vertex>();
+      const auto edge = r.get<MergeEdge>();
+      min_edges_.emplace_back(root, edge);
+    }
+    batch_.clear();
   }
 
  private:
@@ -208,6 +230,37 @@ BoruvkaResult run_boruvka(htm::DesMachine& machine, const graph::Graph& graph,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put_vector(state.merges);
+             w.put<std::uint8_t>(state.scanning_phase ? 1 : 0);
+             w.put<std::uint64_t>(state.failed_merges);
+             w.put<double>(state.total_weight);
+             w.put<std::uint64_t>(state.edges_in_forest);
+             w.put<std::int32_t>(result.rounds);
+             w.put<std::uint64_t>(merges_before_round);
+             executor->save_state(w);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             state.merges = r.get_vector<MergeEdge>();
+             state.scanning_phase = r.get<std::uint8_t>() != 0;
+             state.failed_merges = r.get<std::uint64_t>();
+             state.total_weight = r.get<double>();
+             state.edges_in_forest = r.get<std::uint64_t>();
+             result.rounds = r.get<std::int32_t>();
+             merges_before_round = r.get<std::uint64_t>();
+             executor->restore_state(r);
+             for (auto& wk : workers) wk->restore(r);
+           }});
+
   machine.run();
   machine.set_quiescence_hook(nullptr);
 

@@ -6,6 +6,8 @@
 #include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +59,29 @@ class ColorWorker : public htm::Worker {
       return true;
     }
     return false;
+  }
+
+  // Checkpoint support. The worker RNG is part of the durable state: coin
+  // flips after a restore must replay the original draws. batch_/coins_
+  // are only live while a staged transaction is in flight (excluded at
+  // safe instants); used_ is transient within one pick_color call.
+  void save(util::BlobWriter& w) const {
+    std::uint64_t rng_state[4];
+    rng_.save_state(rng_state);
+    for (std::uint64_t word : rng_state) w.put<std::uint64_t>(word);
+    w.put_vector(pending_);
+    w.put_vector(next_worklist_);
+    w.put<std::uint8_t>(done_scanning_ ? 1 : 0);
+  }
+  void restore(util::BlobReader& r) {
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.get<std::uint64_t>();
+    rng_.restore_state(rng_state);
+    pending_ = r.get_vector<Tentative>();
+    next_worklist_ = r.get_vector<Vertex>();
+    done_scanning_ = r.get<std::uint8_t>() != 0;
+    batch_.clear();
+    coins_.clear();
   }
 
  private:
@@ -170,6 +195,29 @@ ColoringResult run_boman_coloring(htm::DesMachine& machine,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put_vector(state.worklist);
+             w.put<std::uint64_t>(state.recolor_requests);
+             w.put<std::int32_t>(result.rounds);
+             executor->save_state(w);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             state.worklist = r.get_vector<Vertex>();
+             state.recolor_requests = r.get<std::uint64_t>();
+             result.rounds = r.get<std::int32_t>();
+             executor->restore_state(r);
+             for (auto& wk : workers) wk->restore(r);
+           }});
+
   machine.run();
   machine.set_quiescence_hook(nullptr);
 

@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "core/distributed.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 
 namespace aam::algorithms {
@@ -57,6 +59,17 @@ class PrWorker : public htm::Worker {
       return true;
     }
     return false;
+  }
+
+  // Checkpoint support: the production cursor and flush flag are the
+  // worker's only durable state (slice bounds are reconstructed).
+  void save(util::BlobWriter& w) const {
+    w.put<Vertex>(pos_);
+    w.put<std::uint8_t>(flushed_ ? 1 : 0);
+  }
+  void restore(util::BlobReader& r) {
+    pos_ = r.get<Vertex>();
+    flushed_ = r.get<std::uint8_t>() != 0;
   }
 
  private:
@@ -169,6 +182,33 @@ DistPrResult run_distributed_pagerank(net::Cluster& cluster,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  // Checkpoint registration. The DistributedRuntime registered its own
+  // state at construction; the driver contributes the iteration counter
+  // and which heap allocation `old_rank` currently aliases (the hook's
+  // std::swap runs after the pre-quiescence checkpoint, so the span
+  // identities are durable host state). Worker cursors ride along.
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put<std::int32_t>(iterations_left);
+             w.put<std::uint8_t>(old_rank.data() < new_rank.data() ? 1 : 0);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             iterations_left = r.get<std::int32_t>();
+             const bool old_is_first = r.get<std::uint8_t>() != 0;
+             if ((old_rank.data() < new_rank.data()) != old_is_first) {
+               std::swap(old_rank, new_rank);
+             }
+             for (auto& wk : workers) wk->restore(r);
+           }});
+
   machine.run();
   machine.set_quiescence_hook(nullptr);
 

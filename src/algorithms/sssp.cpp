@@ -7,6 +7,8 @@
 #include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 
 namespace aam::algorithms {
@@ -61,6 +63,19 @@ class SsspWorker : public htm::Worker {
       return true;
     }
     return false;
+  }
+
+  // Checkpoint support; batch_ is never live at a safe instant.
+  void save(util::BlobWriter& w) const {
+    w.put_vector(pending_);
+    w.put_vector(next_frontier_);
+    w.put<std::uint8_t>(done_scanning_ ? 1 : 0);
+  }
+  void restore(util::BlobReader& r) {
+    pending_ = r.get_vector<Relax>();
+    next_frontier_ = r.get_vector<Vertex>();
+    done_scanning_ = r.get<std::uint8_t>() != 0;
+    batch_.clear();
   }
 
  private:
@@ -158,6 +173,29 @@ SsspResult run_sssp(htm::DesMachine& machine, const graph::Graph& graph,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put_vector(state.frontier);
+             w.put<std::uint64_t>(state.relaxations);
+             w.put<std::int32_t>(result.rounds);
+             executor->save_state(w);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             state.frontier = r.get_vector<Vertex>();
+             state.relaxations = r.get<std::uint64_t>();
+             result.rounds = r.get<std::int32_t>();
+             executor->restore_state(r);
+             for (auto& wk : workers) wk->restore(r);
+           }});
+
   machine.run();
   machine.set_quiescence_hook(nullptr);
 

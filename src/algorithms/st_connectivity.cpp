@@ -6,6 +6,8 @@
 #include "algorithms/operators.hpp"
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
+#include "htm/resilience.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 
 namespace aam::algorithms {
@@ -73,6 +75,19 @@ class StWorker : public htm::Worker {
       return true;
     }
     return false;
+  }
+
+  // Checkpoint support; batch_ is never live at a safe instant.
+  void save(util::BlobWriter& w) const {
+    w.put_vector(pending_);
+    w.put_vector(next_frontier_);
+    w.put<std::uint8_t>(done_scanning_ ? 1 : 0);
+  }
+  void restore(util::BlobReader& r) {
+    pending_ = r.get_vector<Candidate>();
+    next_frontier_ = r.get_vector<Candidate>();
+    done_scanning_ = r.get<std::uint8_t>() != 0;
+    batch_.clear();
   }
 
  private:
@@ -171,6 +186,31 @@ StConnResult run_st_connectivity(htm::DesMachine& machine,
     m.barrier_release(options.barrier_cost_ns);
     return true;
   });
+
+  htm::ScopedHostState ckpt(
+      machine.recovery_client(),
+      {.save =
+           [&](std::vector<std::uint8_t>& out) {
+             util::BlobWriter w;
+             w.put_vector(state.frontier);
+             w.put<std::uint8_t>(state.connected ? 1 : 0);
+             w.put<std::uint64_t>(state.colored);
+             w.put<std::int32_t>(result.levels);
+             executor->save_state(w);
+             for (auto& wk : workers) wk->save(w);
+             out = w.take();
+           },
+       .restore =
+           [&](const std::uint8_t* data, std::size_t len) {
+             util::BlobReader r(data, len);
+             state.frontier = r.get_vector<Candidate>();
+             state.connected = r.get<std::uint8_t>() != 0;
+             state.colored = r.get<std::uint64_t>();
+             result.levels = r.get<std::int32_t>();
+             executor->restore_state(r);
+             for (auto& wk : workers) wk->restore(r);
+           }});
+
   machine.run();
   machine.set_quiescence_hook(nullptr);
 

@@ -337,6 +337,12 @@ class CheckedExecutor final : public core::ActivityExecutor {
   void set_outcome_hook(OutcomeHook hook) override {
     inner_->set_outcome_hook(std::move(hook));
   }
+  void save_state(util::BlobWriter& w) const override {
+    inner_->save_state(w);
+  }
+  void restore_state(util::BlobReader& r) override {
+    inner_->restore_state(r);
+  }
 
   void execute(htm::ThreadCtx& ctx, std::uint64_t count, const ItemOp& op,
                BatchDone done = {},

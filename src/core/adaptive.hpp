@@ -20,8 +20,10 @@
 // never see an escalated outcome and behave exactly as before.
 
 #include <algorithm>
+#include <cstdint>
 
 #include "htm/abort.hpp"
+#include "util/blob.hpp"
 
 namespace aam::core {
 
@@ -84,6 +86,30 @@ class AdaptiveBatch {
   int batch() const { return batch_; }
   /// True while in the post-escalation cooldown/re-growth regime.
   bool recovering() const { return recovering_; }
+
+  /// Checkpoint support (src/recovery/): the controller's full decision
+  /// state, so a restored run re-climbs the M curve identically.
+  void save_state(util::BlobWriter& w) const {
+    w.put<std::int32_t>(batch_);
+    w.put<std::int64_t>(activities_);
+    w.put<std::int64_t>(aborts_);
+    w.put<std::int64_t>(serialized_);
+    w.put<std::uint8_t>(recovering_ ? 1 : 0);
+    w.put<std::int32_t>(restore_target_);
+    w.put<std::int32_t>(cooldown_left_);
+    w.put<std::int32_t>(calm_windows_);
+  }
+  void restore_state(util::BlobReader& r) {
+    batch_ = r.get<std::int32_t>();
+    activities_ = r.get<std::int64_t>();
+    aborts_ = r.get<std::int64_t>();
+    serialized_ = r.get<std::int64_t>();
+    recovering_ = r.get<std::uint8_t>() != 0;
+    restore_target_ = r.get<std::int32_t>();
+    cooldown_left_ = r.get<std::int32_t>();
+    calm_windows_ = r.get<std::int32_t>();
+  }
+
   void reset(int m) {
     batch_ = std::clamp(m, options_.min_batch, options_.max_batch);
     activities_ = aborts_ = serialized_ = 0;

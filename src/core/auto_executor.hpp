@@ -107,6 +107,13 @@ class AutoExecutor final : public ActivityExecutor {
   /// Completed activities between abort-rate checks.
   inline static constexpr std::uint64_t kValidationWindow = 32;
 
+  /// Checkpoint support: the per-operator ladder rungs and validation
+  /// windows, the last routed mechanism, and every inner executor's own
+  /// state. Policy telemetry is deliberately NOT rolled back — like the
+  /// fault injector it counts work *performed*, replays included.
+  void save_state(util::BlobWriter& w) const override;
+  void restore_state(util::BlobReader& r) override;
+
  private:
   struct OpState {
     Mechanism level = Mechanism::kAtomicOps;

@@ -22,6 +22,7 @@
 #include "core/executor.hpp"
 #include "core/executor_impl.hpp"
 #include "core/taxonomy.hpp"
+#include "htm/resilience.hpp"
 #include "net/cluster.hpp"
 
 namespace aam::core {
@@ -146,6 +147,13 @@ class DistributedRuntime {
   std::uint64_t batches_executed() const { return batches_executed_; }
   net::Cluster& cluster() { return cluster_; }
 
+  /// Checkpoint support (src/recovery/): serializes the runtime's durable
+  /// host state — coalescer and local-batch buffers, the pending batch
+  /// queues, and the executor's control state. Registered automatically
+  /// with the machine's RecoveryClient; these are public for tests.
+  void save_state(util::BlobWriter& w) const;
+  void restore_state(util::BlobReader& r);
+
   /// A convenience worker: drains incoming work, then produces spawns via
   /// `produce` (return false when out of items), then flushes and parks.
   class Worker : public htm::Worker {
@@ -160,6 +168,18 @@ class DistributedRuntime {
     virtual bool produce(htm::ThreadCtx& ctx) {
       (void)ctx;
       return false;
+    }
+
+   public:
+    /// Checkpoint support: the production/flush phase flags are durable.
+    /// Subclasses with their own production state extend both.
+    virtual void save_state(util::BlobWriter& w) const {
+      w.put<std::uint8_t>(production_done_ ? 1 : 0);
+      w.put<std::uint8_t>(flushed_ ? 1 : 0);
+    }
+    virtual void restore_state(util::BlobReader& r) {
+      production_done_ = r.get<std::uint8_t>() != 0;
+      flushed_ = r.get<std::uint8_t>() != 0;
     }
 
    private:
@@ -214,6 +234,11 @@ class DistributedRuntime {
 
   std::uint64_t items_executed_ = 0;
   std::uint64_t batches_executed_ = 0;
+
+  // Checkpoint registration (src/recovery/): no-op when the machine has no
+  // recovery client. Declared last so registration happens after the
+  // buffers exist and unregistration before they are torn down.
+  htm::ScopedHostState ckpt_;
 };
 
 }  // namespace aam::core

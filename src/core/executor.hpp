@@ -36,6 +36,7 @@
 #include "core/adaptive.hpp"
 #include "htm/des_engine.hpp"
 #include "htm/stm_engine.hpp"
+#include "util/blob.hpp"
 
 namespace aam::util {
 class Cli;
@@ -273,6 +274,16 @@ class ActivityExecutor {
   virtual void set_outcome_hook(OutcomeHook hook) {
     outcome_hook_ = std::move(hook);
   }
+
+  /// Checkpoint support (src/recovery/): serializes the executor's durable
+  /// host-side control state — batch size, the attached adaptive
+  /// controller, and mechanism-specific fields (e.g. the serial lock's
+  /// virtual-time release point, the auto dispatcher's ladder rungs).
+  /// Heap-resident tables (lock stripes, orecs) restore with the heap
+  /// image and are not re-serialized here. Overrides must call the base
+  /// first and append in the same order on both sides.
+  virtual void save_state(util::BlobWriter& w) const;
+  virtual void restore_state(util::BlobReader& r);
 
  protected:
   explicit ActivityExecutor(int batch) : batch_(batch) {}

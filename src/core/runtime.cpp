@@ -34,7 +34,19 @@ AamRuntime::AamRuntime(htm::DesMachine& machine, Options options)
           options.mechanism, machine,
           {.batch = options.batch, .decorator = options.decorator,
            .auto_policy = options.auto_policy})),
-      cursor_(machine.heap()) {
+      cursor_(machine.heap()),
+      ckpt_(machine.recovery_client(),
+            {.save =
+                 [this](std::vector<std::uint8_t>& out) {
+                   util::BlobWriter w;
+                   executor_->save_state(w);
+                   out = w.take();
+                 },
+             .restore =
+                 [this](const std::uint8_t* data, std::size_t len) {
+                   util::BlobReader r(data, len);
+                   executor_->restore_state(r);
+                 }}) {
   AAM_CHECK(options.batch >= 1);
   const int threads = machine_.num_threads();
   workers_.reserve(static_cast<std::size_t>(threads));

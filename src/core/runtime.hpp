@@ -24,6 +24,7 @@
 #include "core/executor_impl.hpp"
 #include "core/worklist.hpp"
 #include "htm/des_engine.hpp"
+#include "htm/resilience.hpp"
 
 namespace aam::core {
 
@@ -106,6 +107,11 @@ class AamRuntime {
   std::vector<std::unique_ptr<BatchWorker>> workers_;
   BatchFn batch_fn_;
   std::uint64_t count_ = 0;
+  // Checkpoint registration (src/recovery/): the executor's control state
+  // is the runtime's only durable host state — the chunk cursor lives on
+  // the SimHeap and the batch workers are stateless. No-op when the
+  // machine has no recovery client.
+  htm::ScopedHostState ckpt_;
 };
 
 }  // namespace aam::core

@@ -46,6 +46,13 @@ void apply_scenario_brownout(const model::FaultProfile& p, FaultPlan& plan) {
   plan.brownout_duty = p.brownout_duty;
 }
 
+void apply_scenario_crash(const model::FaultProfile& p, FaultPlan& plan) {
+  plan.crash_p = p.crash_p;
+  plan.crash_at_ns = p.crash_at_ns;
+  plan.crash_max = p.crash_max;
+  plan.crash_ckpt_ns = p.crash_ckpt_ns;
+}
+
 bool parse_number(std::string_view text, double& out) {
   const std::string s(text);
   char* end = nullptr;
@@ -80,6 +87,10 @@ constexpr KeyEntry kKeys[] = {
     {"brownout.factor", &FaultPlan::brownout_factor},
     {"brownout.period", &FaultPlan::brownout_period_ns},
     {"brownout.duty", &FaultPlan::brownout_duty},
+    {"crash.p", &FaultPlan::crash_p},
+    {"crash.at", &FaultPlan::crash_at_ns},
+    {"crash.max", &FaultPlan::crash_max},
+    {"crash.ckpt", &FaultPlan::crash_ckpt_ns},
 };
 
 std::string_view trim(std::string_view s) {
@@ -142,6 +153,8 @@ std::optional<std::string> try_parse(std::string_view spec,
   out = FaultPlan{};
   out.net_rto_ns = profile.net_rto_ns;
   out.net_rto_cap_ns = profile.net_rto_cap_ns;
+  out.crash_max = profile.crash_max;
+  out.crash_ckpt_ns = profile.crash_ckpt_ns;
 
   std::string from_file;
   spec = trim(spec);
@@ -186,10 +199,21 @@ std::optional<std::string> try_parse(std::string_view spec,
         apply_scenario_net(profile, out);
         apply_scenario_straggler(profile, out);
         apply_scenario_brownout(profile, out);
+      } else if (token == "crash-restart") {
+        apply_scenario_crash(profile, out);
+      } else if (token == "crash-combined") {
+        // Crashes on top of every other misbehaviour: checkpoints taken
+        // while wire copies are dropped/duplicated, restores into storms.
+        apply_scenario_crash(profile, out);
+        apply_scenario_storm(profile, out);
+        apply_scenario_net(profile, out);
+        apply_scenario_straggler(profile, out);
+        apply_scenario_brownout(profile, out);
       } else {
         return "unknown fault scenario: '" + std::string(token) +
                "' (expected none, abort-storm, lossy-net, straggler, "
-               "brownout, combined, or key=value)";
+               "brownout, combined, crash-restart, crash-combined, or "
+               "key=value)";
       }
       continue;
     }
@@ -223,7 +247,8 @@ FaultPlan parse(std::string_view spec, const model::FaultProfile& profile) {
 
 const std::vector<std::string>& canned_scenarios() {
   static const std::vector<std::string> kScenarios = {
-      "none", "abort-storm", "lossy-net", "straggler", "combined"};
+      "none",     "abort-storm",   "lossy-net",      "straggler",
+      "combined", "crash-restart", "crash-combined"};
   return kScenarios;
 }
 
@@ -234,6 +259,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
     : plan_(plan),
       threads_per_node_(threads_per_node > 0 ? threads_per_node
                                              : num_threads),
+      crash_rng_(util::Rng(seed).fork(0xc4a5ULL)),
       net_rng_(util::Rng(seed).fork(0xfa017ULL)) {
   AAM_CHECK(num_threads >= 1);
   const std::size_t t = static_cast<std::size_t>(num_threads);
@@ -265,14 +291,17 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed,
 void FaultInjector::attach(htm::DesMachine& machine) {
   AAM_CHECK(machine.num_threads() ==
             static_cast<int>(abort_rng_.size()));
-  if (plan_.storm_active() || plan_.slowdown_active()) {
+  if (plan_.storm_active() || plan_.slowdown_active() ||
+      plan_.crash_active()) {
     machine.set_fault_hook(this);
   }
 }
 
 void FaultInjector::attach(net::Cluster& cluster) {
   attach(cluster.machine());
-  if (plan_.net_active()) cluster.set_fault_hook(this);
+  // net_active() (the virtual) includes crash scenarios: they force the
+  // reliable-delivery protocol on so in-flight messages are replayable.
+  if (net_active()) cluster.set_fault_hook(this);
 }
 
 bool FaultInjector::inject_other_abort(std::uint32_t tid, double start_ns,
@@ -290,6 +319,30 @@ bool FaultInjector::inject_other_abort(std::uint32_t tid, double start_ns,
   ++injected_.other_aborts;
   ++injected_.other_aborts_by_thread[tid];
   return true;
+}
+
+bool FaultInjector::inject_crash(std::uint32_t tid, double now_ns) {
+  (void)tid;
+  if (!plan_.crash_active()) return false;
+  if (crashes_fired_ >= static_cast<std::uint64_t>(plan_.crash_max)) {
+    return false;
+  }
+  // The deterministic one-shot: the first completion at or past crash.at.
+  // The consumed flag is never rolled back — a restore rewinds virtual
+  // time below crash_at_ns, and re-firing there would loop forever.
+  if (plan_.crash_at_ns > 0 && !crash_at_consumed_ &&
+      now_ns >= plan_.crash_at_ns) {
+    crash_at_consumed_ = true;
+    ++crashes_fired_;
+    ++injected_.crashes;
+    return true;
+  }
+  if (plan_.crash_p > 0 && crash_rng_.next_bool(plan_.crash_p)) {
+    ++crashes_fired_;
+    ++injected_.crashes;
+    return true;
+  }
+  return false;
 }
 
 double FaultInjector::slowdown(std::uint32_t tid, double now_ns) {

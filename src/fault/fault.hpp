@@ -64,6 +64,15 @@ struct FaultPlan {
   double brownout_factor = 1.0;
   double brownout_period_ns = 0;
   double brownout_duty = 0.25;
+  // Crash-stop failures (src/recovery/): crash_p is the per-completed-
+  // activity crash probability, crash_at_ns forces one crash at the first
+  // completion past that virtual time (0 = off), crash_max caps total
+  // crashes, crash_ckpt_ns is the checkpoint interval the recovery
+  // manager should use.
+  double crash_p = 0;
+  double crash_at_ns = 0;
+  double crash_max = 3.0;
+  double crash_ckpt_ns = 5.0e4;
 
   bool storm_active() const { return storm_rate_per_us > 0; }
   bool net_active() const {
@@ -79,8 +88,10 @@ struct FaultPlan {
   bool slowdown_active() const {
     return straggler_active() || brownout_active();
   }
+  bool crash_active() const { return crash_p > 0 || crash_at_ns > 0; }
   bool any() const {
-    return storm_active() || net_active() || slowdown_active();
+    return storm_active() || net_active() || slowdown_active() ||
+           crash_active();
   }
 };
 
@@ -106,6 +117,7 @@ struct InjectedStats {
   std::uint64_t other_aborts = 0;
   std::uint64_t net_dropped = 0;
   std::uint64_t net_duplicated = 0;
+  std::uint64_t crashes = 0;  ///< inject_crash fires (crash-stop events)
   std::vector<std::uint64_t> other_aborts_by_thread;
 };
 
@@ -129,9 +141,17 @@ class FaultInjector final : public htm::FaultHook, public net::NetFaultHook {
   bool inject_other_abort(std::uint32_t tid, double start_ns,
                           double duration_ns, double& frac_out) override;
   double slowdown(std::uint32_t tid, double now_ns) override;
+  bool inject_crash(std::uint32_t tid, double now_ns) override;
 
   // net::NetFaultHook
-  bool net_active() const override { return plan_.net_active(); }
+  //
+  // Crash scenarios force the reliable-delivery protocol on even with no
+  // wire faults configured: every in-flight message then has a sender-side
+  // pending entry the recovery manager can replay from, so nothing is
+  // silently lost when a crash drops the machine's callbacks.
+  bool net_active() const override {
+    return plan_.net_active() || plan_.crash_active();
+  }
   net::MessageFate fate(const net::Message& msg, bool retransmit) override;
   double initial_rto_ns() const override { return plan_.net_rto_ns; }
   double rto_cap_ns() const override { return plan_.net_rto_cap_ns; }
@@ -142,13 +162,22 @@ class FaultInjector final : public htm::FaultHook, public net::NetFaultHook {
   bool is_straggler(std::uint32_t tid) const {
     return straggler_[tid] != 0;
   }
+  /// Crashes fired so far (== injected().crashes; convenience).
+  std::uint64_t crashes_fired() const { return crashes_fired_; }
 
  private:
   FaultPlan plan_;
   int threads_per_node_;
   // Dedicated streams, forked from the seed independently of the engine's
   // per-thread RNGs: injection never perturbs the machine's own draws.
+  // The crash stream (and the fired counters) deliberately survive a
+  // restore — the injector is the external world, so rolled-back execution
+  // re-runs under *fresh* crash draws and recovery terminates instead of
+  // replaying the same crash forever.
   std::vector<util::Rng> abort_rng_;  // per thread
+  util::Rng crash_rng_;
+  std::uint64_t crashes_fired_ = 0;
+  bool crash_at_consumed_ = false;
   util::Rng net_rng_;
   std::vector<std::uint8_t> straggler_;   // per thread
   std::vector<double> straggler_phase_;   // per thread

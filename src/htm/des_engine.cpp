@@ -20,7 +20,17 @@ std::string StallDiagnostic::to_string() const {
      << ", last progress=" << last_progress_ns << ", " << inflight_txns
      << " transaction(s) in flight, worst thread t" << worst_tid << " with "
      << worst_streak << " consecutive aborts, " << events_processed
-     << " events processed)";
+     << " events processed, " << inflight_messages
+     << " message(s) in flight, last checkpoint #" << last_checkpoint_id
+     << ")";
+  return os.str();
+}
+
+std::string CrashDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "machine crash-stopped at " << now_ns << " simulated ns (thread t"
+     << tid << ", " << events_processed
+     << " events processed, no checkpoint to restore from)";
   return os.str();
 }
 
@@ -206,7 +216,8 @@ void DesMachine::barrier_release(double barrier_cost_ns) {
   for (std::uint32_t t = 0; t < threads_.size(); ++t) wake(t);
 }
 
-void DesMachine::schedule_callback(double t, std::function<void()> fn) {
+void DesMachine::schedule_callback_impl(double t, std::function<void()> fn,
+                                        bool generic) {
   std::size_t slot;
   if (!callback_free_.empty()) {
     slot = callback_free_.back();
@@ -216,7 +227,21 @@ void DesMachine::schedule_callback(double t, std::function<void()> fn) {
     slot = callbacks_.size();
     callbacks_.push_back(std::move(fn));
   }
-  queue_.push(std::max(t, now_), 0, kCallback, slot);
+  std::uint64_t payload = slot;
+  if (generic) {
+    payload |= kGenericCallbackBit;
+    ++generic_callbacks_pending_;
+  }
+  queue_.push(std::max(t, now_), 0, kCallback, payload);
+}
+
+void DesMachine::schedule_callback(double t, std::function<void()> fn) {
+  schedule_callback_impl(t, std::move(fn), /*generic=*/true);
+}
+
+void DesMachine::schedule_callback_droppable(double t,
+                                             std::function<void()> fn) {
+  schedule_callback_impl(t, std::move(fn), /*generic=*/false);
 }
 
 void DesMachine::begin_external_run() {
@@ -229,15 +254,49 @@ void DesMachine::begin_external_run() {
 
 bool DesMachine::step(double horizon) {
   while (!queue_.empty() && queue_.peek_time() <= horizon) {
-    dispatch(queue_.pop());
+    const sim::Event e = queue_.pop();
+    dispatch(e);
+    // Event-boundary crash injection: finish_txn's consult only covers
+    // transactional completions, so non-speculative mechanisms (atomics,
+    // fine-locks) would otherwise never crash. A boundary crash models
+    // power loss at an arbitrary instant of the event timeline.
+    if (fault_hook_ != nullptr && !controlled_ &&
+        fault_hook_->inject_crash(e.thread, now_)) {
+      CrashDiagnostic d;
+      d.now_ns = now_;
+      d.tid = e.thread;
+      d.events_processed = events_processed_;
+      throw CrashError(d);
+    }
+    // Mid-run checkpoint opportunity: the client decides (interval gating)
+    // whether this safe event boundary is worth a snapshot. One branch per
+    // event when no client is installed.
+    if (recovery_ != nullptr && checkpoint_safe()) {
+      recovery_->on_event_boundary(*this);
+    }
   }
   return !queue_.empty();
 }
 
 void DesMachine::run() {
   begin_external_run();
+  // Run entry is always a safe instant: no transactions are in flight yet.
+  if (recovery_ != nullptr) recovery_->on_run_entry(*this);
   while (true) {
-    step(std::numeric_limits<double>::infinity());
+    try {
+      step(std::numeric_limits<double>::infinity());
+    } catch (const CrashError& e) {
+      // Crash-stop: with a recovery client installed, restore from the
+      // last checkpoint and resume the event loop; otherwise the crash is
+      // fatal to the run and propagates to the caller.
+      if (recovery_ != nullptr && recovery_->on_crash(*this, e.diagnostic)) {
+        continue;
+      }
+      throw;
+    }
+    if (recovery_ != nullptr && checkpoint_safe()) {
+      recovery_->on_quiescence(*this);
+    }
     if (!quiescence_ || !quiescence_(*this)) break;
     AAM_CHECK_MSG(!queue_.empty(),
                   "quiescence hook returned true without injecting work");
@@ -343,6 +402,10 @@ void DesMachine::dispatch(const sim::Event& e) {
         d.worst_tid = t;
       }
     }
+    if (recovery_ != nullptr) {
+      d.inflight_messages = recovery_->inflight_messages();
+      d.last_checkpoint_id = recovery_->last_checkpoint_id();
+    }
     throw StallError(d);
   }
   switch (e.kind) {
@@ -366,7 +429,11 @@ void DesMachine::dispatch(const sim::Event& e) {
       on_serial_commit(e.thread);
       break;
     case kCallback: {
-      const std::size_t slot = static_cast<std::size_t>(e.payload);
+      const std::size_t slot =
+          static_cast<std::size_t>(e.payload & ~kGenericCallbackBit);
+      if ((e.payload & kGenericCallbackBit) != 0) {
+        --generic_callbacks_pending_;
+      }
       std::function<void()> fn = std::move(callbacks_[slot]);
       callbacks_[slot] = nullptr;
       callback_free_.push_back(slot);
@@ -675,6 +742,18 @@ void DesMachine::on_serial_commit(std::uint32_t tid) {
 
 void DesMachine::finish_txn(std::uint32_t tid, bool serialized,
                             double end_time) {
+  // Crash injection point: one consult per completed activity, i.e.
+  // "mid-batch" from the executor's point of view. The throw abandons the
+  // completion wholesale — counters, callbacks, and the waiter admission
+  // below never happen — exactly like a machine losing power.
+  if (fault_hook_ != nullptr && !controlled_ &&
+      fault_hook_->inject_crash(tid, end_time)) {
+    CrashDiagnostic d;
+    d.now_ns = end_time;
+    d.tid = tid;
+    d.events_processed = events_processed_;
+    throw CrashError(d);
+  }
   auto& ts = *threads_[tid];
   ts.txn_inflight = false;
   ts.want_serialize = false;
@@ -698,6 +777,148 @@ void DesMachine::finish_txn(std::uint32_t tid, bool serialized,
   }
   ts.body = nullptr;
   queue_.push(ts.ctx.clock_, tid, kNext);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint core save/restore
+// ---------------------------------------------------------------------------
+//
+// The durable core is everything the engine needs to replay the exact
+// future of a safe instant: virtual clocks, per-thread RNG stream
+// positions, conflict stamps and stripe metadata over the *used* heap
+// prefix (units beyond the bump pointer are never touched), domain timing
+// gates, statistics (so post-restore accounting matches a crash-free run
+// of the same prefix), and every pending non-callback event in (time, seq)
+// order. Deliberately volatile — not saved, reconstructed or irrelevant:
+//   * kCallback events: generic ones are required to be zero (safety
+//     predicate); droppable ones are re-derived by the network layer from
+//     its own checkpointed protocol state.
+//   * EventQueue::next_seq_ and events_processed_: only the *relative*
+//     order of re-pushed events matters; both keep counting up.
+//   * In-flight transaction scratch (write buffers, trackers): dead at a
+//     safe instant by definition.
+
+void DesMachine::save_core(util::BlobWriter& w) const {
+  AAM_CHECK_MSG(checkpoint_safe(), "save_core outside a safe instant");
+  w.put(now_);
+  w.put(last_progress_);
+  w.put(commit_stamp_);
+
+  const std::uint64_t used_units =
+      (heap_.used_bytes() >> conflict_shift_) + 1;
+  w.put(used_units);
+  for (std::uint64_t u = 0; u < used_units; ++u) w.put(unit_stamps_[u]);
+
+  const std::uint64_t used_lines =
+      heap_.used_bytes() / mem::kLineBytes + 1;
+  w.put(used_lines);
+  for (std::uint64_t l = 0; l < used_lines; ++l) {
+    w.put(stripes_.available_at(l));
+    w.put(stripes_.owner(l));
+  }
+
+  w.put<std::uint64_t>(threads_.size());
+  for (const auto& ts : threads_) {
+    AAM_CHECK_MSG(!ts->txn_inflight, "save_core with an in-flight txn");
+    w.put(ts->ctx.clock_);
+    std::uint64_t rng_state[4];
+    ts->ctx.rng_.save_state(rng_state);
+    for (std::uint64_t word : rng_state) w.put(word);
+    w.put<std::uint8_t>(ts->parked ? 1 : 0);
+    w.put(ts->consec_aborts);
+    w.put(ts->stats);
+  }
+
+  w.put<std::uint64_t>(domains_.size());
+  for (const auto& d : domains_) {
+    AAM_CHECK_MSG(!d.held && d.waiters.empty(),
+                  "save_core with an active serializer");
+    w.put(d.free_at);
+    w.put(d.atomic_free);
+  }
+
+  std::vector<sim::Event> pending;
+  queue_.for_each([&pending](const sim::Event& e) {
+    if (e.kind != kCallback) pending.push_back(e);
+  });
+  std::sort(pending.begin(), pending.end(),
+            [](const sim::Event& a, const sim::Event& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  w.put_vector(pending);
+}
+
+void DesMachine::restore_core(util::BlobReader& r) {
+  now_ = r.get<double>();
+  last_progress_ = r.get<double>();
+  commit_stamp_ = r.get<std::uint64_t>();
+
+  const std::uint64_t used_units = r.get<std::uint64_t>();
+  AAM_CHECK_MSG(used_units <= unit_stamps_.size(),
+                "core snapshot does not match this heap layout");
+  for (std::uint64_t u = 0; u < used_units; ++u) {
+    unit_stamps_[u] = r.get<std::uint64_t>();
+  }
+
+  const std::uint64_t used_lines = r.get<std::uint64_t>();
+  AAM_CHECK_MSG(used_lines <= stripes_.num_lines(),
+                "core snapshot does not match this heap layout");
+  for (std::uint64_t l = 0; l < used_lines; ++l) {
+    stripes_.set_available_at(l, r.get<sim::Time>());
+    stripes_.set_owner(l, r.get<std::uint32_t>());
+  }
+
+  const std::uint64_t num_threads = r.get<std::uint64_t>();
+  AAM_CHECK_MSG(num_threads == threads_.size(),
+                "core snapshot thread count mismatch");
+  for (auto& tsp : threads_) {
+    auto& ts = *tsp;
+    ts.ctx.clock_ = r.get<double>();
+    std::uint64_t rng_state[4];
+    for (auto& word : rng_state) word = r.get<std::uint64_t>();
+    ts.ctx.rng_.restore_state(rng_state);
+    ts.parked = r.get<std::uint8_t>() != 0;
+    ts.consec_aborts = r.get<int>();
+    ts.stats = r.get<HtmStats>();
+    // Volatile in-flight state dies with the crash.
+    ts.txn_inflight = false;
+    ts.want_serialize = false;
+    ts.body = nullptr;
+    ts.done = nullptr;
+    ts.ctx.staged_ = false;
+    ts.ctx.staged_body_ = nullptr;
+    ts.ctx.staged_done_ = nullptr;
+    ts.aborts_this_txn = 0;
+    ts.capacity_aborts_this_txn = 0;
+    ts.escalated_this_txn = false;
+    ts.write_buffer.clear();
+    ts.tracker.reset();
+  }
+
+  const std::uint64_t num_domains = r.get<std::uint64_t>();
+  AAM_CHECK_MSG(num_domains == domains_.size(),
+                "core snapshot domain count mismatch");
+  for (auto& d : domains_) {
+    d.held = false;
+    d.waiters.clear();
+    d.free_at = r.get<double>();
+    d.atomic_free = r.get<double>();
+  }
+  inflight_txns_ = 0;
+
+  // Drop every pending event and scheduled callback, then re-push the
+  // saved events in (time, seq) order: fresh sequence numbers ascend in
+  // the same relative order, so the replayed schedule is bit-identical.
+  queue_.clear();
+  callbacks_.clear();
+  callback_free_.clear();
+  generic_callbacks_pending_ = 0;
+  const std::vector<sim::Event> pending = r.get_vector<sim::Event>();
+  for (const sim::Event& e : pending) {
+    AAM_CHECK_MSG(e.kind != kCallback, "callback event in a core snapshot");
+    queue_.push(e.time, e.thread, e.kind, e.payload);
+  }
 }
 
 }  // namespace aam::htm

@@ -44,6 +44,7 @@
 #include "model/machines.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/schedule.hpp"
+#include "util/blob.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -303,6 +304,51 @@ class DesMachine {
   /// network layer for message deliveries).
   void schedule_callback(double t, std::function<void()> fn);
 
+  /// Like schedule_callback, but the callback is *droppable*: losing it in
+  /// a crash-restore is safe because the scheduling subsystem re-derives
+  /// it from its own checkpointed state (the reliable-delivery protocol's
+  /// deliveries, acks and retransmit timers — all reconstructible from the
+  /// pending-send maps). Droppable callbacks do not block checkpoints;
+  /// generic ones do, because the engine cannot re-create an opaque
+  /// std::function after dropping it.
+  void schedule_callback_droppable(double t, std::function<void()> fn);
+
+  // --- crash-stop recovery (src/recovery/) --------------------------------
+  //
+  // A RecoveryClient observes the engine at safe checkpoint instants (no
+  // transaction in flight, no generic callback pending, uncontrolled) and
+  // restores the whole machine after FaultHook::inject_crash fires. The
+  // engine serializes its own durable core — virtual clocks, RNG streams,
+  // conflict stamps, stripe metadata, and every pending non-callback
+  // event — so a restore replays the exact schedule from the checkpoint.
+
+  /// Registers (or clears, with nullptr) the recovery client. Not owned;
+  /// must outlive run(). When unset the engine takes no recovery branches.
+  void set_recovery_client(RecoveryClient* client) { recovery_ = client; }
+  RecoveryClient* recovery_client() const { return recovery_; }
+
+  /// True at instants where save_core captures a complete, restorable
+  /// machine state.
+  bool checkpoint_safe() const {
+    return !controlled_ && inflight_txns_ == 0 &&
+           generic_callbacks_pending_ == 0;
+  }
+
+  /// Serializes the durable core into `w`. Must be called at a safe
+  /// instant (checkpoint_safe()); aborts otherwise.
+  void save_core(util::BlobWriter& w) const;
+
+  /// Restores the durable core from `r` (a blob produced by save_core on
+  /// this same machine/heap layout). Drops all volatile state: in-flight
+  /// transactions, pending events, and every scheduled callback. Pending
+  /// non-callback events are re-pushed in saved (time, seq) order, so the
+  /// post-restore schedule is bit-identical to the checkpoint's future.
+  void restore_core(util::BlobReader& r);
+
+  /// Generic (non-droppable) callbacks currently scheduled; must be zero
+  /// for a checkpoint to be safe.
+  int generic_callbacks_pending() const { return generic_callbacks_pending_; }
+
   // --- introspection -------------------------------------------------------
   double now() const { return now_; }
   double thread_clock(std::uint32_t tid) const;
@@ -470,6 +516,13 @@ class DesMachine {
 
   mem::WriteObserver* write_observer_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
+  RecoveryClient* recovery_ = nullptr;
+  /// kCallback payload bit distinguishing generic callbacks (bit set;
+  /// opaque, block checkpoints) from droppable ones (reconstructible).
+  static constexpr std::uint64_t kGenericCallbackBit = 1ULL << 63;
+  int generic_callbacks_pending_ = 0;
+  void schedule_callback_impl(double t, std::function<void()> fn,
+                              bool generic);
   ResilienceConfig resilience_;
   /// Virtual time of the last activity completion; with inflight_txns_ > 0
   /// and no completion for watchdog_ns, dispatch() throws StallError.

@@ -21,10 +21,14 @@
 // into a structured StallError instead of an endless event loop.
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace aam::htm {
+
+class DesMachine;
 
 /// Injection interface consulted by DesMachine when installed (see
 /// DesMachine::set_fault_hook). Implemented by fault::FaultInjector; all
@@ -43,6 +47,19 @@ class FaultHook {
   /// Multiplicative slowdown (>= 1.0) for `tid` around virtual time
   /// `now_ns`. 1.0 = full speed.
   virtual double slowdown(std::uint32_t tid, double now_ns) = 0;
+
+  /// Consulted once per completed activity (the engine's finish_txn seam,
+  /// i.e. "mid-batch") and once per dispatched event boundary (so
+  /// non-speculative mechanisms without transactional completions crash
+  /// too). Return true to crash-stop the machine at `now_ns`: the engine
+  /// throws CrashError, dropping all volatile state; a registered
+  /// RecoveryClient then restores from the last checkpoint.
+  /// Default: never crash, so existing hooks are unaffected.
+  virtual bool inject_crash(std::uint32_t tid, double now_ns) {
+    (void)tid;
+    (void)now_ns;
+    return false;
+  }
 };
 
 /// Runtime-hardening configuration (DesMachine::set_resilience). The
@@ -70,6 +87,12 @@ struct StallDiagnostic {
   std::uint32_t worst_tid = 0;  ///< thread with the longest abort streak
   int worst_streak = 0;         ///< that thread's consecutive aborts
   std::uint64_t events_processed = 0;
+  /// In-flight cluster messages at detection time (0 when the machine is
+  /// not the substrate of a net::Cluster, or no RecoveryClient reports).
+  std::uint64_t inflight_messages = 0;
+  /// Id of the last checkpoint taken before the stall (0 = none): a hung
+  /// *recovery* is then diagnosable from the exception alone.
+  std::uint64_t last_checkpoint_id = 0;
 
   std::string to_string() const;
 };
@@ -81,6 +104,87 @@ class StallError : public std::runtime_error {
   explicit StallError(StallDiagnostic d)
       : std::runtime_error(d.to_string()), diagnostic(d) {}
   StallDiagnostic diagnostic;
+};
+
+/// What the crash injector saw when it killed the machine.
+struct CrashDiagnostic {
+  double now_ns = 0;        ///< virtual time of the crash
+  std::uint32_t tid = 0;    ///< thread whose completion triggered it
+  std::uint64_t events_processed = 0;
+
+  std::string to_string() const;
+};
+
+/// Thrown out of DesMachine::run() when FaultHook::inject_crash fires and
+/// no RecoveryClient is installed (an unrecoverable crash). With a client
+/// installed the engine recovers in place and never surfaces this.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(CrashDiagnostic d)
+      : std::runtime_error(d.to_string()), diagnostic(d) {}
+  CrashDiagnostic diagnostic;
+};
+
+/// Host-side durable state a component contributes to every checkpoint.
+/// `save` appends the component's bytes; `restore` consumes exactly what
+/// save wrote. Registered via RecoveryClient::register_host_state and
+/// invoked in registration order (restore in the same order).
+struct HostStateFns {
+  std::function<void(std::vector<std::uint8_t>&)> save;
+  std::function<void(const std::uint8_t*, std::size_t)> restore;
+};
+
+/// The engine's view of the recovery subsystem (implemented by
+/// recovery::RecoveryManager). The DesMachine calls the checkpoint hooks
+/// at safe instants and on_crash when a FaultHook kills the machine; the
+/// client decides whether a checkpoint is due and performs restores.
+class RecoveryClient {
+ public:
+  virtual ~RecoveryClient() = default;
+
+  /// run()/begin_external_run() entered the event loop (always a safe
+  /// instant: no transactions in flight yet this run).
+  virtual void on_run_entry(DesMachine& machine) = 0;
+
+  /// run() drained the queue and is about to consult the quiescence hook.
+  virtual void on_quiescence(DesMachine& machine) = 0;
+
+  /// step() is at an event boundary and the machine reports it safe
+  /// (no in-flight txns, no generic callbacks pending).
+  virtual void on_event_boundary(DesMachine& machine) = 0;
+
+  /// A crash fired. Return true after restoring the machine from the last
+  /// checkpoint (the engine resumes its event loop); false to propagate
+  /// the CrashError (no checkpoint available).
+  virtual bool on_crash(DesMachine& machine, const CrashDiagnostic& d) = 0;
+
+  /// Registers host-side durable state; returns a token for unregister.
+  virtual std::uint64_t register_host_state(HostStateFns fns) = 0;
+  virtual void unregister_host_state(std::uint64_t token) = 0;
+
+  /// Telemetry surfaced into StallDiagnostic.
+  virtual std::uint64_t last_checkpoint_id() const = 0;
+  virtual std::uint64_t inflight_messages() const = 0;
+};
+
+/// RAII registration of one component's host state with a client. A null
+/// client makes the registration a no-op, so call sites can bind
+/// unconditionally and stay inert in non-recovery runs.
+class ScopedHostState {
+ public:
+  ScopedHostState(RecoveryClient* client, HostStateFns fns)
+      : client_(client) {
+    if (client_) token_ = client_->register_host_state(std::move(fns));
+  }
+  ~ScopedHostState() {
+    if (client_) client_->unregister_host_state(token_);
+  }
+  ScopedHostState(const ScopedHostState&) = delete;
+  ScopedHostState& operator=(const ScopedHostState&) = delete;
+
+ private:
+  RecoveryClient* client_ = nullptr;
+  std::uint64_t token_ = 0;
 };
 
 }  // namespace aam::htm

@@ -13,6 +13,7 @@
 // uses it: a benchmark allocates graph + algorithm state once, runs, and
 // throws the heap away.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -134,6 +135,21 @@ class SimHeap {
     allocs_.clear();
   }
 
+  /// Checkpoint support: the durable contents are exactly the first
+  /// used_bytes() of the region. The allocation registry is *not* part of
+  /// the snapshot — recovery restores into the same process with the same
+  /// allocation layout, so only the bytes change.
+  std::span<const std::byte> raw_bytes() const { return {base_, used_}; }
+
+  /// Overwrites the first `bytes.size()` heap bytes from a snapshot. The
+  /// layout must match: restoring into a heap whose bump pointer moved
+  /// since the checkpoint would scramble allocations, so that aborts.
+  void restore_raw_bytes(std::span<const std::byte> bytes) {
+    AAM_CHECK_MSG(bytes.size() == used_,
+                  "heap snapshot size does not match current layout");
+    std::copy(bytes.begin(), bytes.end(), base_);
+  }
+
  private:
   std::byte* raw_alloc(std::size_t bytes, std::size_t align,
                        std::string_view label);
@@ -193,6 +209,18 @@ class StripeTable {
   void reset() {
     std::fill(avail_.begin(), avail_.end(), 0.0);
     std::fill(owner_.begin(), owner_.end(), kNoOwner);
+  }
+
+  /// Checkpoint support: the per-line contention metadata, restored
+  /// wholesale so post-restore atomics see the same transfer costs.
+  const std::vector<sim::Time>& avail_lines() const { return avail_; }
+  const std::vector<std::uint32_t>& owner_lines() const { return owner_; }
+  void restore_lines(const std::vector<sim::Time>& avail,
+                     const std::vector<std::uint32_t>& owner) {
+    AAM_CHECK_MSG(avail.size() == avail_.size() && owner.size() == owner_.size(),
+                  "stripe snapshot size does not match table");
+    avail_ = avail;
+    owner_ = owner;
   }
 
  private:

@@ -140,6 +140,17 @@ struct FaultProfile {
   double brownout_factor = 6.0;
   double brownout_period_ns = 1.0e6;
   double brownout_duty = 0.25;
+  // crash-restart: crash-stop machine failures recovered from checkpoints
+  // (src/recovery/). crash_p is the per-consult (completed activity or
+  // event boundary) crash probability; crash_at_ns forces one crash at
+  // the first consult past that virtual time (0 = disabled) so every
+  // non-trivial run deterministically suffers at least one crash;
+  // crash_max caps the total crashes a run may suffer; crash_ckpt_ns is
+  // the checkpoint interval handed to the RecoveryManager.
+  double crash_p = 5.0e-5;
+  double crash_at_ns = 3.0e3;
+  double crash_max = 3.0;
+  double crash_ckpt_ns = 2.0e3;
 };
 
 struct MachineConfig {

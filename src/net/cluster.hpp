@@ -155,6 +155,22 @@ class Cluster {
   void set_fault_hook(NetFaultHook* hook);
   NetFaultHook* fault_hook() const { return net_hook_; }
 
+  // --- crash-stop recovery (src/recovery/) --------------------------------
+
+  /// Serializes the cluster's durable network state: statistics, the
+  /// in-flight count, per-node receive queues, and the reliable-delivery
+  /// channel state (sender pending maps with their current RTOs, receiver
+  /// watermarks and out-of-order sets).
+  void save_net(util::BlobWriter& w) const;
+
+  /// Restores the state captured by save_net and re-arms a retransmit
+  /// timer for every still-pending send: in-flight wire copies and timer
+  /// callbacks lost in the crash are re-derived from the pending maps —
+  /// the receiver-side dedup path discards anything already accepted.
+  /// Must run after DesMachine::restore_core (which drops all callbacks).
+  /// Returns the number of pending sends whose replay was re-armed.
+  std::uint64_t restore_net(util::BlobReader& r);
+
  private:
   bool protocol_active() const {
     return net_hook_ != nullptr && net_hook_->net_active();
@@ -236,6 +252,12 @@ class Coalescer {
   /// Flushes any partial buffer for one node / all nodes.
   void flush(htm::ThreadCtx& ctx, int dst_node);
   void flush_all(htm::ThreadCtx& ctx);
+
+  /// Checkpoint support (src/recovery/): the partial per-destination
+  /// buffers are durable spawner state — items buffered but not yet sent
+  /// would otherwise vanish in a crash without being retransmittable.
+  void save_state(util::BlobWriter& w) const;
+  void restore_state(util::BlobReader& r);
 
  private:
   Cluster& cluster_;

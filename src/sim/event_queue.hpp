@@ -100,6 +100,24 @@ class EventQueue {
   /// Total events ever pushed (diagnostics).
   std::uint64_t pushed() const { return next_seq_; }
 
+  /// Visits every pending event in unspecified order (checkpointing: the
+  /// caller sorts by (time, seq) itself). Skips the root hole if present.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    // When hole_ is set, heap_[0] is the logically-removed previous pop.
+    for (std::size_t i = hole_ ? 1 : 0; i < heap_.size(); ++i) fn(heap_[i]);
+  }
+
+  /// Drops every pending event. next_seq_ keeps counting up so sequence
+  /// numbers pushed after a restore still order after all prior pushes —
+  /// only the *relative* order of re-pushed events matters for
+  /// reproducibility.
+  void clear() {
+    check_owner();
+    heap_.clear();
+    hole_ = false;
+  }
+
  private:
   static bool before(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;

@@ -92,6 +92,15 @@ class Rng {
     return Rng(mix64(state_[0] ^ mix64(key ^ 0x5bf03635d1f2b0e9ULL)));
   }
 
+  /// Checkpoint support: the stream position is the four state words.
+  /// Restoring them replays the exact draw sequence from that point.
+  constexpr void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  constexpr void restore_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/pagerank_dist.hpp"
+#include "core/runtime.hpp"
+#include "fault/fault.hpp"
+#include "graph/generators.hpp"
+#include "graph/gstats.hpp"
+#include "graph/partition.hpp"
+#include "htm/resilience.hpp"
+#include "net/cluster.hpp"
+#include "recovery/manager.hpp"
+#include "recovery/snapshot.hpp"
+
+namespace aam::recovery {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Round-trip property: checkpoint -> mutate -> restore -> checkpoint must
+// reproduce the original snapshot bit-for-bit, section by section, under
+// every synchronization mechanism (each serializes different executor and
+// heap-resident state: lock stripes, orecs, the serial lock word, ...).
+
+TEST(Recovery, CheckpointRoundTripIsBitIdenticalPerMechanism) {
+  for (const core::Mechanism mech : core::all_mechanisms()) {
+    SCOPED_TRACE(core::to_string(mech));
+    mem::SimHeap heap(std::size_t{1} << 22);
+    htm::DesMachine machine(model::has_c(), model::HtmKind::kRtm, 4, heap, 7);
+    RecoveryManager rec(machine, RecoveryOptions{1.0e9});
+    auto counters = heap.alloc<std::uint64_t>(64, "counters");
+    std::fill(counters.begin(), counters.end(), 0);
+
+    core::AamRuntime::Options o;
+    o.batch = 8;
+    o.mechanism = mech;
+    core::AamRuntime rt(machine, o);
+    const auto bump = [&](auto& access, std::uint64_t i) {
+      access.fetch_add(counters[i % 64], std::uint64_t{1});
+    };
+    rt.for_each(512, bump);
+
+    rec.take_checkpoint_now();
+    const std::vector<std::uint8_t> snap_a = rec.last_snapshot_bytes();
+    ASSERT_FALSE(snap_a.empty());
+    const std::uint64_t value_a = counters[0];
+    EXPECT_EQ(value_a, 8u);  // 512 items over 64 counters
+
+    rt.for_each(512, bump);
+    EXPECT_EQ(counters[0], 2 * value_a);
+
+    std::string err;
+    ASSERT_TRUE(rec.restore_from_bytes(snap_a, &err)) << err;
+    EXPECT_EQ(counters[0], value_a);  // heap rewound with the snapshot
+
+    rec.take_checkpoint_now();
+    const std::vector<std::uint8_t>& snap_b = rec.last_snapshot_bytes();
+    const auto a = Snapshot::open(snap_a, &err);
+    ASSERT_TRUE(a.has_value()) << err;
+    const auto b = Snapshot::open(snap_b, &err);
+    ASSERT_TRUE(b.has_value()) << err;
+    // Checkpoint ids differ (they are monotone); every section must not.
+    ASSERT_EQ(a->sections().size(), b->sections().size());
+    EXPECT_DOUBLE_EQ(a->now_ns(), b->now_ns());
+    for (std::size_t i = 0; i < a->sections().size(); ++i) {
+      EXPECT_EQ(a->sections()[i].tag, b->sections()[i].tag);
+      EXPECT_EQ(a->sections()[i].bytes, b->sections()[i].bytes)
+          << "section tag " << a->sections()[i].tag;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-snapshot rejection: a truncated or bit-flipped snapshot must be
+// refused with the machine untouched — recovery never half-applies.
+
+TEST(Recovery, TornSnapshotIsRejectedWithoutTouchingTheMachine) {
+  mem::SimHeap heap(std::size_t{1} << 22);
+  htm::DesMachine machine(model::has_c(), model::HtmKind::kRtm, 2, heap, 11);
+  RecoveryManager rec(machine, RecoveryOptions{1.0e9});
+  auto counters = heap.alloc<std::uint64_t>(8, "counters");
+  std::fill(counters.begin(), counters.end(), 0);
+
+  core::AamRuntime::Options o;
+  o.batch = 4;
+  core::AamRuntime rt(machine, o);
+  const auto bump = [&](auto& access, std::uint64_t i) {
+    access.fetch_add(counters[i % 8], std::uint64_t{1});
+  };
+  rt.for_each(64, bump);
+  rec.take_checkpoint_now();
+  const std::vector<std::uint8_t> intact = rec.last_snapshot_bytes();
+
+  rt.for_each(64, bump);
+  const std::uint64_t mutated = counters[0];
+  EXPECT_EQ(mutated, 16u);
+
+  // Truncations at several depths: header, mid-section, and one byte shy
+  // of the final digest all fail verification before any byte applies.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{16}, intact.size() / 2,
+        intact.size() - 1}) {
+    SCOPED_TRACE(len);
+    std::vector<std::uint8_t> torn(intact.begin(),
+                                   intact.begin() + static_cast<long>(len));
+    std::string err;
+    EXPECT_FALSE(rec.restore_from_bytes(torn, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(counters[0], mutated);  // machine untouched
+  }
+
+  // A single flipped bit in the middle trips the chained digest.
+  std::vector<std::uint8_t> flipped = intact;
+  flipped[flipped.size() / 2] ^= 0x10;
+  std::string err;
+  EXPECT_FALSE(rec.restore_from_bytes(flipped, &err));
+  EXPECT_NE(err.find("digest mismatch"), std::string::npos) << err;
+  EXPECT_EQ(counters[0], mutated);
+
+  // The intact buffer still restores after all the rejected attempts.
+  ASSERT_TRUE(rec.restore_from_bytes(intact, &err)) << err;
+  EXPECT_EQ(counters[0], 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery, shared memory: a crash-stopped BFS restored from
+// checkpoints must produce a bit-identical result to the fault-free run
+// (deterministic replay: engine RNG streams and schedule are part of the
+// checkpoint; crash draws live outside it).
+
+TEST(Recovery, CrashedBfsMatchesFaultFreeRunBitExactly) {
+  const std::uint64_t seed = 5;
+  util::Rng grng(seed);
+  const graph::Graph g = graph::erdos_renyi(1 << 10, 0.01, grng);
+  algorithms::BfsOptions o;
+  o.root = graph::pick_nonisolated_vertex(g);
+
+  mem::SimHeap base_heap(std::size_t{1} << 24);
+  htm::DesMachine base(model::has_c(), model::HtmKind::kRtm, 8, base_heap,
+                       seed);
+  const auto base_r = algorithms::run_bfs(base, g, o);
+
+  mem::SimHeap heap(std::size_t{1} << 24);
+  htm::DesMachine machine(model::has_c(), model::HtmKind::kRtm, 8, heap, seed);
+  const fault::FaultPlan plan =
+      fault::parse("crash-restart", model::has_c().fault);
+  fault::FaultInjector inj(plan, seed, machine.num_threads());
+  inj.attach(machine);
+  RecoveryManager rec(machine, RecoveryOptions{plan.crash_ckpt_ns});
+  const auto crashed_r = algorithms::run_bfs(machine, g, o);
+
+  EXPECT_GE(rec.stats().crashes, 1u);  // crash.at guarantees one
+  EXPECT_EQ(rec.stats().crashes, inj.injected().crashes);
+  EXPECT_GT(rec.stats().checkpoints, 0u);
+  EXPECT_GT(rec.stats().lost_work_ns, 0.0);
+  EXPECT_EQ(crashed_r.parent, base_r.parent);
+  EXPECT_EQ(crashed_r.vertices_visited, base_r.vertices_visited);
+  EXPECT_DOUBLE_EQ(crashed_r.total_time_ns, base_r.total_time_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery, distributed: crashes under a lossy network must keep the
+// NetStats accounting exact — counters restored to checkpoint values forget
+// the interval's drops/dups, the injector never forgets, and the
+// rolled_back_* deltas bridge the two.
+
+TEST(Recovery, NetStatsAccountingIsExactAcrossCrashRestore) {
+  const std::uint64_t seed = 3;
+  const int nodes = 4;
+  const int threads = 4;
+  util::Rng grng(seed + 17);
+  const graph::Graph g = graph::erdos_renyi(1 << 10, 0.01, grng);
+  const graph::Block1D part(g.num_vertices(), nodes);
+  algorithms::DistPrOptions o;
+  o.iterations = 3;
+
+  mem::SimHeap base_heap(std::size_t{1} << 26);
+  net::Cluster base(model::has_p(), model::HtmKind::kRtm, nodes, threads,
+                    base_heap, seed);
+  const auto base_r = algorithms::run_distributed_pagerank(base, g, part, o);
+
+  mem::SimHeap heap(std::size_t{1} << 26);
+  net::Cluster cluster(model::has_p(), model::HtmKind::kRtm, nodes, threads,
+                       heap, seed);
+  const fault::FaultPlan plan =
+      fault::parse("crash-combined", model::has_p().fault);
+  fault::FaultInjector inj(plan, seed, nodes * threads, threads);
+  inj.attach(cluster);
+  RecoveryManager rec(cluster, RecoveryOptions{plan.crash_ckpt_ns});
+  const auto r = algorithms::run_distributed_pagerank(cluster, g, part, o);
+
+  EXPECT_EQ(cluster.in_flight(), 0u);  // quiescence: exactly-once delivered
+  const auto& injected = inj.injected();
+  const RecoveryStats& rs = rec.stats();
+  EXPECT_GE(rs.crashes, 1u);
+  EXPECT_EQ(rs.crashes, injected.crashes);
+  // Exact accounting: injected == surviving-timeline NetStats + the
+  // counter deltas each restore rolled back.
+  EXPECT_EQ(r.net.dropped + rs.rolled_back_dropped, injected.net_dropped);
+  EXPECT_EQ(r.net.duplicated + rs.rolled_back_duplicated,
+            injected.net_duplicated);
+  EXPECT_GT(injected.net_dropped, 0u);  // the lossy leg actually engaged
+
+  // Fault-oblivious correctness: float32 payloads + reordered accumulation
+  // bound the drift (same tolerance as bench_fault_matrix).
+  ASSERT_EQ(r.rank.size(), base_r.rank.size());
+  for (std::size_t v = 0; v < r.rank.size(); ++v) {
+    EXPECT_NEAR(r.rank[v], base_r.rank[v], 1e-5) << "vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RTO backoff regression: the sender's retransmit timeout doubles per
+// retransmission and plateaus exactly at the hook's cap — never past it.
+
+class DropFirstNHook final : public net::NetFaultHook {
+ public:
+  DropFirstNHook(htm::DesMachine& machine, int drops)
+      : machine_(machine), drops_(drops) {}
+
+  bool net_active() const override { return true; }
+  net::MessageFate fate(const net::Message&, bool retransmit) override {
+    if (retransmit) retransmit_times.push_back(machine_.now());
+    ++calls_;
+    net::MessageFate f;
+    f.drop = calls_ <= drops_;
+    return f;
+  }
+  double initial_rto_ns() const override { return 500.0; }
+  double rto_cap_ns() const override { return 2000.0; }
+
+  std::vector<double> retransmit_times;
+
+ private:
+  htm::DesMachine& machine_;
+  int calls_ = 0;
+  int drops_ = 0;
+};
+
+class PollWorker : public htm::Worker {
+ public:
+  explicit PollWorker(net::Cluster& cluster) : cluster_(cluster) {}
+  bool next(htm::ThreadCtx& ctx) override {
+    return cluster_.poll_and_handle(ctx);
+  }
+
+ private:
+  net::Cluster& cluster_;
+};
+
+class SendOnceWorker : public htm::Worker {
+ public:
+  SendOnceWorker(net::Cluster& cluster, std::uint32_t handler)
+      : cluster_(cluster), handler_(handler) {}
+  bool next(htm::ThreadCtx& ctx) override {
+    if (!sent_) {
+      sent_ = true;
+      cluster_.send(ctx, 1, handler_, 42);
+      return true;
+    }
+    return cluster_.poll_and_handle(ctx);
+  }
+
+ private:
+  net::Cluster& cluster_;
+  std::uint32_t handler_;
+  bool sent_ = false;
+};
+
+TEST(Recovery, RetransmitBackoffDoublesAndCapsAtRtoCap) {
+  mem::SimHeap heap(std::size_t{1} << 16);
+  net::Cluster cluster(model::has_p(), model::HtmKind::kRtm, 2, 1, heap);
+  const int kDrops = 6;
+  DropFirstNHook hook(cluster.machine(), kDrops);
+  cluster.set_fault_hook(&hook);
+  int handled = 0;
+  const auto h = cluster.register_handler(
+      [&](htm::ThreadCtx&, const net::Message&) { ++handled; });
+  SendOnceWorker sender(cluster, h);
+  PollWorker receiver(cluster);
+  cluster.machine().set_worker(0, &sender);
+  cluster.machine().set_worker(1, &receiver);
+  cluster.machine().run();
+
+  // Exactly one copy reaches the handler. Timers past the 6th drop may
+  // legitimately outrun the ack's round trip (the capped RTO is shorter
+  // than 2L), so a few extra retransmissions arrive and are dedup-discarded
+  // — exactly-once delivery holds regardless.
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(cluster.stats().dropped, static_cast<std::uint64_t>(kDrops));
+  EXPECT_GE(cluster.stats().retransmitted, static_cast<std::uint64_t>(kDrops));
+  EXPECT_EQ(cluster.stats().dedup_discarded,
+            cluster.stats().retransmitted - kDrops);
+  EXPECT_EQ(cluster.stats().acked, 1u);
+  EXPECT_EQ(cluster.in_flight(), 0u);
+
+  // Retransmissions fire at arm-time + RTO; the RTO doubles after each
+  // arming: gaps run 2*initial, then sit exactly at the cap forever.
+  ASSERT_GE(hook.retransmit_times.size(), static_cast<std::size_t>(kDrops));
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < hook.retransmit_times.size(); ++i) {
+    gaps.push_back(hook.retransmit_times[i] - hook.retransmit_times[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(gaps[0], 2 * hook.initial_rto_ns());
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(gaps[i], hook.rto_cap_ns()) << "gap " << i;
+  }
+  for (const double gap : gaps) {
+    EXPECT_LE(gap, hook.rto_cap_ns());  // backoff never overshoots the cap
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StallDiagnostic rendering: the watchdog's exception must surface the
+// recovery-facing fields (in-flight messages, last checkpoint id) so a hung
+// recovery is diagnosable from the exception text alone.
+
+TEST(Recovery, StallDiagnosticRendersRecoveryFields) {
+  htm::StallDiagnostic d;
+  d.now_ns = 1.25e6;
+  d.last_progress_ns = 2.5e5;
+  d.inflight_txns = 3;
+  d.worst_tid = 9;
+  d.worst_streak = 41;
+  d.events_processed = 12345;
+  d.inflight_messages = 7;
+  d.last_checkpoint_id = 3;
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("12345 events processed"), std::string::npos) << s;
+  EXPECT_NE(s.find("7 message(s) in flight"), std::string::npos) << s;
+  EXPECT_NE(s.find("last checkpoint #3"), std::string::npos) << s;
+}
+
+TEST(Recovery, CrashDiagnosticRendersCrashInstant) {
+  htm::CrashDiagnostic d;
+  d.now_ns = 4200.0;
+  d.tid = 2;
+  d.events_processed = 99;
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("crash-stopped"), std::string::npos) << s;
+  EXPECT_NE(s.find("thread t2"), std::string::npos) << s;
+  EXPECT_NE(s.find("99 events processed"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace aam::recovery

@@ -16,7 +16,7 @@
 # backend's determinism contract); a mismatch fails the recording.
 #
 # Exits non-zero when the binary fails or the JSON does not match the
-# aam-bench-wallclock-v4 schema (missing keys, empty results, or
+# aam-bench-wallclock-v5 schema (missing keys, empty results, or
 # non-positive throughput).
 set -euo pipefail
 
@@ -62,7 +62,9 @@ def load(kind, t):
 def sim_rows(doc):
     """The simulated (host-independent) projection of the results array."""
     keys = ("algorithm", "mechanism", "elements", "sim_time_ns", "commits",
-            "aborts", "prediction_miss", "descents", "capacity_clamps")
+            "aborts", "prediction_miss", "descents", "capacity_clamps",
+            "checkpoints", "crashes", "replayed_sends", "lost_work_ns",
+            "snapshot_bytes", "rolled_back_dropped", "rolled_back_duplicated")
     return [{k: r[k] for k in keys} for r in doc["results"]]
 
 seq = [load("seq", t) for t in range(trials)]
@@ -77,7 +79,7 @@ for doc in seq + par:
              "— the parallel backend broke determinism")
 
 doc = seq[0]
-if doc.get("schema") != "aam-bench-wallclock-v4":
+if doc.get("schema") != "aam-bench-wallclock-v5":
     fail(f"unexpected schema {doc.get('schema')!r}")
 for key in ("scale", "machine", "threads", "host_threads", "wall_ms",
             "fault", "results"):
@@ -90,7 +92,10 @@ mechanisms = set()
 for r in results:
     for key in ("algorithm", "mechanism", "elements", "wall_seconds",
                 "elements_per_sec", "sim_time_ns", "commits", "aborts",
-                "prediction_miss", "descents", "capacity_clamps"):
+                "prediction_miss", "descents", "capacity_clamps",
+                "checkpoints", "crashes", "replayed_sends", "lost_work_ns",
+                "snapshot_bytes", "rolled_back_dropped",
+                "rolled_back_duplicated"):
         if key not in r:
             fail(f"result entry missing {key!r}: {r}")
     mechanisms.add(r["mechanism"])

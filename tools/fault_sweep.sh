@@ -13,9 +13,11 @@
 #     the fault schedule or recovery path shows up in the diff).
 #
 # Usage: fault_sweep.sh <bench_fault_matrix-binary> [seeds...]
-#   Seeds default to "1 2 3". Extra knobs (scale, scenario subset) are
-#   fixed: scale 10 with every canned scenario, matching the golden
-#   snapshot's sweep size.
+#   Seeds default to "1 2 3". Scale is fixed at 10, matching the golden
+#   snapshot's sweep size. FAULT_SPEC restricts the sweep to one fault
+#   spec (default "all" = every canned scenario) — the CI crash-matrix
+#   job uses it to byte-diff the crash-restart/crash-combined cells in
+#   isolation.
 
 set -eu
 
@@ -27,6 +29,7 @@ fi
 bin="$1"
 shift
 seeds="${*:-1 2 3}"
+spec="${FAULT_SPEC:-all}"
 
 out_a=$(mktemp)
 out_b=$(mktemp)
@@ -34,13 +37,13 @@ trap 'rm -f "$out_a" "$out_b"' EXIT
 
 for seed in $seeds; do
   # Run 1: correctness (the binary exits 1 on any baseline mismatch).
-  if ! "$bin" --scale=10 --seed="$seed" > "$out_a"; then
+  if ! "$bin" --scale=10 --seed="$seed" --fault="$spec" > "$out_a"; then
     echo "fault_sweep: baseline mismatch at seed $seed:" >&2
     grep MISMATCH "$out_a" >&2 || true
     exit 1
   fi
   # Run 2: determinism (same seed + spec => byte-identical output).
-  "$bin" --scale=10 --seed="$seed" > "$out_b"
+  "$bin" --scale=10 --seed="$seed" --fault="$spec" > "$out_b"
   if ! diff -u "$out_a" "$out_b"; then
     echo "fault_sweep: nondeterministic fault schedule at seed $seed" >&2
     exit 1
